@@ -1,0 +1,196 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§IV). Each BenchmarkFigN/BenchmarkTableN runs the
+// corresponding experiment from internal/experiments in scaled mode and
+// reports headline numbers as custom metrics; EXPERIMENTS.md records the
+// paper-vs-measured comparison. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Use cmd/hvacbench -full for paper-scale node counts and epochs.
+package hvac_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hvac"
+	"hvac/internal/experiments"
+	"hvac/internal/metrics"
+)
+
+const benchSeed = 42
+
+func runExperiment(b *testing.B, id string) []*metrics.Table {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*metrics.Table
+	for i := 0; i < b.N; i++ {
+		tables = exp.Run(experiments.Options{Seed: benchSeed})
+	}
+	if testing.Verbose() {
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+	return tables
+}
+
+// BenchmarkTable1NodeSpec regenerates Table I.
+func BenchmarkTable1NodeSpec(b *testing.B) {
+	tables := runExperiment(b, "tab1")
+	if len(tables) != 1 {
+		b.Fatal("missing table")
+	}
+}
+
+// BenchmarkFig3MDTestSmallFiles regenerates the 32 KB MDTest scan: GPFS
+// metadata-bound, XFS-on-NVMe scaling linearly.
+func BenchmarkFig3MDTestSmallFiles(b *testing.B) {
+	runExperiment(b, "fig3")
+}
+
+// BenchmarkFig4MDTestLargeFiles regenerates the 8 MB MDTest scan: the
+// bottleneck shifts to aggregate bandwidth.
+func BenchmarkFig4MDTestLargeFiles(b *testing.B) {
+	runExperiment(b, "fig4")
+}
+
+// BenchmarkFig8TrainingScaling regenerates the four training-time-vs-nodes
+// panels (GPFS vs HVAC 1x1/2x1/4x1 vs XFS-on-NVMe).
+func BenchmarkFig8TrainingScaling(b *testing.B) {
+	tables := runExperiment(b, "fig8")
+	if len(tables) != 4 {
+		b.Fatalf("expected 4 panels, got %d", len(tables))
+	}
+}
+
+// BenchmarkFig9Overheads regenerates the normalised gain/overhead figures
+// (shares the memoised Fig. 8 sweep within a process).
+func BenchmarkFig9Overheads(b *testing.B) {
+	runExperiment(b, "fig9")
+}
+
+// BenchmarkFig10EpochScaling regenerates the epoch sweep at 512 nodes.
+func BenchmarkFig10EpochScaling(b *testing.B) {
+	runExperiment(b, "fig10")
+}
+
+// BenchmarkFig11PerEpoch regenerates the first/random/average epoch
+// analysis [BS=4, Eps=10, 512 nodes].
+func BenchmarkFig11PerEpoch(b *testing.B) {
+	runExperiment(b, "fig11")
+}
+
+// BenchmarkFig12BatchSize regenerates the batch-size sweep.
+func BenchmarkFig12BatchSize(b *testing.B) {
+	runExperiment(b, "fig12")
+}
+
+// BenchmarkFig13CacheLocality regenerates the forced local/remote cache
+// split study on HVAC(1x1).
+func BenchmarkFig13CacheLocality(b *testing.B) {
+	runExperiment(b, "fig13")
+}
+
+// BenchmarkFig14Accuracy regenerates the accuracy-equivalence study.
+func BenchmarkFig14Accuracy(b *testing.B) {
+	runExperiment(b, "fig14")
+}
+
+// BenchmarkFig15LoadDistribution regenerates the per-server file
+// distribution study.
+func BenchmarkFig15LoadDistribution(b *testing.B) {
+	runExperiment(b, "fig15")
+}
+
+// BenchmarkAggregateBandwidth checks the §II-C bandwidth headline.
+func BenchmarkAggregateBandwidth(b *testing.B) {
+	runExperiment(b, "bandwidth")
+}
+
+// BenchmarkAblationPlacement compares placement policies.
+func BenchmarkAblationPlacement(b *testing.B) {
+	runExperiment(b, "ablation-placement")
+}
+
+// BenchmarkAblationEviction compares eviction policies under pressure.
+func BenchmarkAblationEviction(b *testing.B) {
+	runExperiment(b, "ablation-eviction")
+}
+
+// BenchmarkAblationInstances sweeps HVAC server instances per node.
+func BenchmarkAblationInstances(b *testing.B) {
+	runExperiment(b, "ablation-instances")
+}
+
+// BenchmarkAblationReplication exercises replication failover.
+func BenchmarkAblationReplication(b *testing.B) {
+	runExperiment(b, "ablation-replication")
+}
+
+// BenchmarkAblationPrefetch compares cold vs pre-populated caches.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	runExperiment(b, "ablation-prefetch")
+}
+
+// BenchmarkAblationSegments compares file- vs segment-level caching under
+// skewed file sizes.
+func BenchmarkAblationSegments(b *testing.B) {
+	runExperiment(b, "ablation-segments")
+}
+
+// BenchmarkRelatedWorkBaselines compares HVAC with the LPCC- and
+// BeeOND-style systems of §II-D.
+func BenchmarkRelatedWorkBaselines(b *testing.B) {
+	runExperiment(b, "baselines")
+}
+
+// BenchmarkRealModeReadThroughput measures the real client/server path on
+// loopback TCP: warm reads of 64 KB files through a live HVAC server.
+func BenchmarkRealModeReadThroughput(b *testing.B) {
+	work := b.TempDir()
+	pfsDir := filepath.Join(work, "pfs")
+	os.MkdirAll(pfsDir, 0o755)
+	const files = 64
+	paths := make([]string, files)
+	content := make([]byte, 64<<10)
+	for i := range paths {
+		paths[i] = filepath.Join(pfsDir, fmt.Sprintf("f%03d.bin", i))
+		if err := os.WriteFile(paths[i], content, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := hvac.StartServer(hvac.ServerConfig{
+		ListenAddr: "127.0.0.1:0", PFSDir: pfsDir,
+		CacheDir: filepath.Join(work, "cache"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := hvac.NewClient(hvac.ClientConfig{
+		Servers: []string{srv.Addr()}, DatasetDir: pfsDir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	for _, p := range paths { // warm the cache
+		if _, err := cli.ReadAll(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv.WaitIdle()
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.ReadAll(paths[i%files]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

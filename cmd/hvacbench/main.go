@@ -1,0 +1,66 @@
+// Command hvacbench regenerates the paper's tables and figures on the
+// simulated Summit substrate.
+//
+// Usage:
+//
+//	hvacbench -list
+//	hvacbench -experiment fig8
+//	hvacbench -experiment all -full
+//
+// The default (scaled) mode completes in minutes; -full uses paper-scale
+// node counts and epochs. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hvac/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		expID = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		full  = flag.Bool("full", false, "paper-scale node counts and epochs (slow)")
+		seed  = flag.Uint64("seed", 42, "experiment seed; equal seeds replay exactly")
+		quiet = flag.Bool("quiet", false, "suppress per-configuration progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Full: *full, Seed: *seed}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	var selected []experiments.Experiment
+	if *expID == "all" {
+		selected = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hvacbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		for _, t := range e.Run(opt) {
+			fmt.Println(t.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

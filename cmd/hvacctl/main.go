@@ -1,0 +1,116 @@
+// Command hvacctl is the operations tool for a running real-mode HVAC
+// deployment: liveness probes, file stats, and cache pre-population
+// against one or more hvacd servers.
+//
+// Usage:
+//
+//	hvacctl -servers host1:7070,host2:7070 ping
+//	hvacctl -servers host1:7070,host2:7070 stat /gpfs/dataset/f0001.rec
+//	hvacctl -servers host1:7070,host2:7070 -dataset /gpfs/dataset prefetch /gpfs/dataset/*.rec
+//	hvacctl -servers host1:7070,host2:7070 home /gpfs/dataset/f0001.rec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hvac"
+	"hvac/internal/transport"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `hvacctl: commands
+  ping                 probe every server
+  stat <path>          report a file's size via its home server
+  home <path>...       print each path's home server
+  prefetch <path>...   pre-populate the caches with the given files`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	var (
+		servers = flag.String("servers", "", "comma-separated hvacd addresses (required)")
+		dataset = flag.String("dataset", "", "dataset dir for prefetch/home (default: inferred from first path)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if *servers == "" || flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	addrs := strings.Split(*servers, ",")
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+
+	switch cmd {
+	case "ping":
+		bad := 0
+		for _, addr := range addrs {
+			cli := transport.Dial(addr)
+			err := cli.Ping()
+			cli.Close()
+			if err != nil {
+				fmt.Printf("%-24s DOWN (%v)\n", addr, err)
+				bad++
+			} else {
+				fmt.Printf("%-24s ok\n", addr)
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+
+	case "stat", "home", "prefetch":
+		if len(args) == 0 {
+			usage()
+			os.Exit(2)
+		}
+		dir := *dataset
+		if dir == "" {
+			// Infer the dataset dir: the directory of the first path.
+			dir = args[0]
+			if i := strings.LastIndexByte(dir, '/'); i > 0 {
+				dir = dir[:i]
+			}
+		}
+		cli, err := hvac.NewClient(hvac.ClientConfig{Servers: addrs, DatasetDir: dir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvacctl: %v\n", err)
+			os.Exit(1)
+		}
+		defer cli.Close()
+		switch cmd {
+		case "home":
+			for _, p := range args {
+				fmt.Printf("%s -> server %d (%s)\n", p, cli.Home(p), addrs[cli.Home(p)])
+			}
+		case "stat":
+			for _, p := range args {
+				c := transport.Dial(addrs[cli.Home(p)])
+				resp, err := c.Call(&transport.Request{Op: transport.OpStat, Path: p})
+				c.Close()
+				if err != nil || !resp.OK() {
+					if err == nil {
+						err = resp.Error()
+					}
+					fmt.Printf("%s: ERROR %v\n", p, err)
+					continue
+				}
+				fmt.Printf("%s: %d bytes\n", p, resp.Size)
+			}
+		case "prefetch":
+			accepted := cli.Prefetch(args)
+			fmt.Printf("prefetch accepted for %d of %d files\n", accepted, len(args))
+			if accepted < len(args) {
+				os.Exit(1)
+			}
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "hvacctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,91 @@
+// Command hvacd runs a real-mode HVAC server daemon: it caches files from
+// a PFS-visible dataset directory onto fast node-local storage and serves
+// them to HVAC clients over TCP (the paper's per-node server process,
+// normally spawned by the job script's alloc_flags "hvac").
+//
+// Usage:
+//
+//	hvacd -listen :7070 -pfs /gpfs/dataset -cache /nvme/hvac \
+//	      -capacity 1600000000000 -movers 1 -evict random
+//
+// Run i copies per node (distinct ports and cache dirs) for the paper's
+// HVAC(i×1) deployments, or a single daemon with -movers i.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hvac"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		pfsDir   = flag.String("pfs", "", "dataset directory on the shared PFS (required)")
+		cacheDir = flag.String("cache", "", "node-local cache directory (required)")
+		capacity = flag.Int64("capacity", 1600e9, "cache capacity in bytes (default: Summit's 1.6 TB NVMe)")
+		movers   = flag.Int("movers", 1, "data-mover workers")
+		evict    = flag.String("evict", "random", "eviction policy: random|lru|fifo|clock")
+		seed     = flag.Uint64("seed", 0, "seed for random eviction")
+		stats    = flag.Duration("stats", 0, "print stats every interval (0 = off)")
+	)
+	flag.Parse()
+	if *pfsDir == "" || *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "hvacd: -pfs and -cache are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var policy hvac.EvictionPolicy
+	switch *evict {
+	case "random":
+		policy = hvac.RandomEviction(*seed)
+	case "lru":
+		policy = hvac.LRUEviction()
+	case "fifo":
+		policy = hvac.FIFOEviction()
+	case "clock":
+		policy = hvac.ClockEviction()
+	default:
+		fmt.Fprintf(os.Stderr, "hvacd: unknown eviction policy %q\n", *evict)
+		os.Exit(2)
+	}
+
+	srv, err := hvac.StartServer(hvac.ServerConfig{
+		ListenAddr:    *listen,
+		PFSDir:        *pfsDir,
+		CacheDir:      *cacheDir,
+		CacheCapacity: *capacity,
+		Policy:        policy,
+		Movers:        *movers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvacd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hvacd: serving %s on %s (cache %s, %d movers, %s eviction)\n",
+		*pfsDir, srv.Addr(), *cacheDir, *movers, *evict)
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				st := srv.Stats()
+				fmt.Printf("hvacd: opens=%d hits=%d misses=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB\n",
+					st.Opens, st.Hits, st.Misses, st.BytesServed, st.BytesFetched,
+					st.Evictions, srv.CachedFiles(), srv.CachedBytes())
+				fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("hvacd: shutting down, purging cache (job-coupled life cycle)")
+	srv.Close()
+}

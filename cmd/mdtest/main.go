@@ -1,0 +1,79 @@
+// Command mdtest runs the MDTest-style <open-read-close> benchmark of
+// §II-C against the simulated Summit substrate, comparing GPFS,
+// XFS-on-NVMe and HVAC.
+//
+// Usage:
+//
+//	mdtest -nodes 512 -procs 6 -ops 64 -size 32768 -fs gpfs
+//	mdtest -nodes 512 -procs 6 -ops 64 -size 8388608 -fs xfs
+//	mdtest -nodes 512 -procs 6 -ops 64 -size 32768 -fs hvac -instances 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hvac/internal/mdtest"
+	"hvac/internal/sim"
+	"hvac/internal/summit"
+	"hvac/internal/vfs"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 16, "compute nodes")
+		procs     = flag.Int("procs", 6, "processes per node")
+		ops       = flag.Int("ops", 64, "transactions per process")
+		size      = flag.Int64("size", 32<<10, "file size in bytes (paper: 32768 and 8388608)")
+		files     = flag.Int("files", 0, "file population (default 12 per node, min 256)")
+		fsKind    = flag.String("fs", "gpfs", "file system under test: gpfs|xfs|hvac")
+		instances = flag.Int("instances", 1, "HVAC server instances per node (with -fs hvac)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	cfg := mdtest.Config{
+		Nodes:        *nodes,
+		ProcsPerNode: *procs,
+		OpsPerProc:   *ops,
+		Files:        *files,
+		FileSize:     *size,
+		Seed:         *seed,
+	}
+	if cfg.Files == 0 {
+		cfg.Files = *nodes * 12
+		if cfg.Files < 256 {
+			cfg.Files = 256
+		}
+	}
+
+	eng := sim.NewEngine()
+	cluster := summit.NewCluster(eng, cfg.Nodes, cfg.Namespace())
+	cluster.RegisterJob(cfg.Nodes * cfg.ProcsPerNode)
+
+	var fsFor func(node, proc int) vfs.FS
+	switch *fsKind {
+	case "gpfs":
+		fsFor = cluster.GPFSFS()
+	case "xfs":
+		fsFor = cluster.XFSFS()
+	case "hvac":
+		job := cluster.StartHVAC(summit.HVACOptions{InstancesPerNode: *instances, EvictionSeed: *seed})
+		fsFor = job.FS()
+	default:
+		fmt.Fprintf(os.Stderr, "mdtest: unknown -fs %q\n", *fsKind)
+		os.Exit(2)
+	}
+
+	res, err := mdtest.Run(eng, cfg, fsFor)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdtest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fs=%-5s nodes=%d procs/node=%d ops/proc=%d size=%dB files=%d\n",
+		*fsKind, cfg.Nodes, cfg.ProcsPerNode, cfg.OpsPerProc, cfg.FileSize, cfg.Files)
+	fmt.Printf("transactions/s: %.0f\n", res.TPS)
+	fmt.Printf("aggregate bandwidth: %.2f GB/s\n", res.AggregateBandwidth/1e9)
+	fmt.Printf("elapsed (virtual): %v   ops=%d errors=%d\n", res.Elapsed, res.Ops, res.Errors)
+}

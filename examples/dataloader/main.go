@@ -1,0 +1,113 @@
+// Dataloader example: a realistic real-mode training loop — prefetch the
+// dataset into a live HVAC deployment (the §IV-C future-work
+// pre-population), then iterate shuffled epochs through the public loader
+// package, exactly as a PyTorch DataLoader + DistributedSampler would.
+//
+//	go run ./examples/dataloader
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hvac"
+	"hvac/internal/dataset"
+	"hvac/loader"
+)
+
+func main() {
+	work, err := os.MkdirTemp("", "hvac-dataloader-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	// Fake PFS dataset: 300 samples, log-normal sizes around 48 KB.
+	pfsDir := filepath.Join(work, "pfs")
+	spec := dataset.Spec{
+		Name: "loaderdemo", TrainFiles: 300, MeanFileSize: 48 << 10,
+		SizeSigma: 0.5, PathPrefix: pfsDir,
+	}
+	paths, err := spec.Materialize(pfsDir, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two HVAC server instances with LRU eviction.
+	var addrs []string
+	var servers []*hvac.Server
+	for i := 0; i < 2; i++ {
+		srv, err := hvac.StartServer(hvac.ServerConfig{
+			ListenAddr: "127.0.0.1:0",
+			PFSDir:     pfsDir,
+			CacheDir:   filepath.Join(work, fmt.Sprintf("nvme%d", i)),
+			Policy:     hvac.LRUEviction(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	cli, err := hvac.NewClient(hvac.ClientConfig{Servers: addrs, DatasetDir: pfsDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Pre-populate the caches before training starts.
+	stageStart := time.Now()
+	accepted := cli.Prefetch(paths)
+	for _, srv := range servers {
+		srv.WaitIdle()
+	}
+	fmt.Printf("prefetch: %d/%d files staged in %v\n",
+		accepted, len(paths), time.Since(stageStart).Round(time.Millisecond))
+
+	// Two data-parallel "ranks" sharing the global shuffle.
+	const world = 2
+	for rank := 0; rank < world; rank++ {
+		l, err := loader.New(cli.ReadAll, loader.Config{
+			Paths:     paths,
+			BatchSize: 16,
+			Workers:   4,
+			Seed:      2026,
+			Rank:      rank,
+			World:     world,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for epoch := 0; epoch < 2; epoch++ {
+			start := time.Now()
+			var samples int
+			var bytes int64
+			err := l.Epoch(epoch, func(b loader.Batch) error {
+				for _, d := range b.Data {
+					samples++
+					bytes += int64(len(d))
+				}
+				return nil
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rank %d epoch %d: %3d samples, %5.1f MB in %v\n",
+				rank, epoch, samples, float64(bytes)/1e6, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	var hits, misses int64
+	for _, srv := range servers {
+		st := srv.Stats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	fmt.Printf("\nservers: hits=%d misses=%d (prefetch staged every file exactly once;\n", hits, misses)
+	fmt.Println("         every training read was a cache hit)")
+	fmt.Printf("server 0 latencies:\n%s\n", servers[0].LatencySummary())
+}

@@ -1,0 +1,148 @@
+// Shuffleproof: the Fig. 14 claim, demonstrated end-to-end with a real
+// model. A logistic-regression classifier is trained twice with SGD —
+// once reading its samples straight from the "PFS" directory, once
+// through a live HVAC client/server deployment — using the same per-epoch
+// shuffle. The byte streams, loss trajectories and final weights are
+// bit-identical: HVAC does not perturb the randomness of SGD.
+//
+//	go run ./examples/shuffleproof
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"hvac"
+	"hvac/internal/sim"
+	"hvac/internal/train"
+)
+
+const (
+	features = 8
+	samples  = 400
+	epochs   = 5
+	lr       = 0.1
+)
+
+// sampleFile encodes one training sample: 8 float64 features + 1 label.
+func sampleFile(rng *sim.RNG) []byte {
+	buf := make([]byte, features*8+1)
+	var dot float64
+	truth := []float64{1.2, -0.7, 0.4, 0.9, -1.1, 0.3, -0.2, 0.6}
+	for f := 0; f < features; f++ {
+		x := rng.NormFloat64()
+		binary.LittleEndian.PutUint64(buf[f*8:], math.Float64bits(x))
+		dot += truth[f] * x
+	}
+	if dot+0.3*rng.NormFloat64() > 0 {
+		buf[features*8] = 1
+	}
+	return buf
+}
+
+func decode(b []byte) (x [features]float64, y float64) {
+	for f := 0; f < features; f++ {
+		x[f] = math.Float64frombits(binary.LittleEndian.Uint64(b[f*8:]))
+	}
+	return x, float64(b[features*8])
+}
+
+// trainSGD runs logistic-regression SGD reading each sample through read.
+func trainSGD(read func(path string) ([]byte, error), paths []string) (w [features]float64, losses []float64) {
+	for e := 0; e < epochs; e++ {
+		perm := train.NewPerm(sim.NewRNG(uint64(1000+e)), len(paths))
+		var epochLoss float64
+		for i := range paths {
+			raw, err := read(paths[perm.Index(i)])
+			if err != nil {
+				log.Fatal(err)
+			}
+			x, y := decode(raw)
+			var z float64
+			for f := 0; f < features; f++ {
+				z += w[f] * x[f]
+			}
+			p := 1 / (1 + math.Exp(-z))
+			epochLoss += -(y*math.Log(p+1e-12) + (1-y)*math.Log(1-p+1e-12))
+			for f := 0; f < features; f++ {
+				w[f] -= lr * (p - y) * x[f]
+			}
+		}
+		losses = append(losses, epochLoss/float64(len(paths)))
+	}
+	return w, losses
+}
+
+func main() {
+	work, err := os.MkdirTemp("", "hvac-shuffleproof-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	// Materialise the dataset on the "PFS".
+	pfsDir := filepath.Join(work, "pfs")
+	if err := os.MkdirAll(pfsDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	rng := sim.NewRNG(99)
+	paths := make([]string, samples)
+	for i := range paths {
+		paths[i] = filepath.Join(pfsDir, fmt.Sprintf("sample-%04d.bin", i))
+		if err := os.WriteFile(paths[i], sampleFile(rng), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Run 1: direct PFS reads.
+	direct := func(p string) ([]byte, error) { return os.ReadFile(p) }
+	wDirect, lossDirect := trainSGD(direct, paths)
+
+	// Run 2: through a live 2-server HVAC deployment.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := hvac.StartServer(hvac.ServerConfig{
+			ListenAddr: "127.0.0.1:0",
+			PFSDir:     pfsDir,
+			CacheDir:   filepath.Join(work, fmt.Sprintf("nvme%d", i)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	cli, err := hvac.NewClient(hvac.ClientConfig{Servers: addrs, DatasetDir: pfsDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	wHVAC, lossHVAC := trainSGD(cli.ReadAll, paths)
+
+	fmt.Printf("%-8s %-14s %-14s\n", "epoch", "loss (direct)", "loss (hvac)")
+	identical := true
+	for e := range lossDirect {
+		fmt.Printf("%-8d %-14.8f %-14.8f\n", e+1, lossDirect[e], lossHVAC[e])
+		if lossDirect[e] != lossHVAC[e] {
+			identical = false
+		}
+	}
+	for f := 0; f < features; f++ {
+		if wDirect[f] != wHVAC[f] {
+			identical = false
+		}
+	}
+	st := cli.Stats()
+	fmt.Printf("\nHVAC served %d opens (%d bytes); fallbacks=%d\n", st.Redirected, st.BytesRead, st.Fallbacks)
+	if identical {
+		fmt.Println("RESULT: loss curves and final weights are BIT-IDENTICAL —")
+		fmt.Println("        HVAC preserves SGD's shuffle exactly (the Fig. 14 claim).")
+	} else {
+		fmt.Println("RESULT: MISMATCH — HVAC perturbed the training stream!")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module hvac
+
+go 1.22

@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hvac/internal/device"
+	"hvac/internal/pfs"
+	"hvac/internal/sim"
+	"hvac/internal/simnet"
+	"hvac/internal/vfs"
+)
+
+type rig struct {
+	eng    *sim.Engine
+	fabric *simnet.Fabric
+	gpfs   *pfs.GPFS
+	devs   []*device.Device
+	ns     *vfs.Namespace
+}
+
+func newRig(nodes, files int, size int64) *rig {
+	eng := sim.NewEngine()
+	ns := vfs.NewNamespace()
+	for i := 0; i < files; i++ {
+		ns.Add(fmt.Sprintf("/gpfs/d/f%05d", i), size)
+	}
+	r := &rig{
+		eng:    eng,
+		fabric: simnet.New(eng, simnet.SummitEDR(), nodes),
+		gpfs:   pfs.New(eng, pfs.Alpine(), ns),
+		ns:     ns,
+	}
+	for n := 0; n < nodes; n++ {
+		r.devs = append(r.devs, device.New(eng, fmt.Sprintf("nvme%d", n), device.SummitNVMe()))
+	}
+	return r
+}
+
+func TestLPCCCachesPerNode(t *testing.T) {
+	r := newRig(2, 16, 64<<10)
+	fleet := NewLPCCFleet(r.eng, r.fabric, r.gpfs, r.devs, 1<<30, 1)
+	for n := 0; n < 2; n++ {
+		l := fleet[n]
+		r.eng.Spawn("job", func(p *sim.Proc) {
+			for e := 0; e < 2; e++ {
+				for _, path := range r.ns.Paths() {
+					if _, err := vfs.ReadFile(p, l, path); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				}
+			}
+		})
+	}
+	if err := r.eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// No sharing: EVERY node pulls the whole dataset from GPFS once.
+	opens, _, bytes := r.gpfs.Stats()
+	if opens != 2*16 {
+		t.Fatalf("GPFS opens = %d, want 32 (each node pays its own cold pass)", opens)
+	}
+	if bytes != 2*16*(64<<10) {
+		t.Fatalf("GPFS bytes = %d (the dataset moved twice)", bytes)
+	}
+	for n, l := range fleet {
+		hits, misses := l.Stats()
+		if misses != 16 || hits != 16 {
+			t.Fatalf("node %d: hits/misses = %d/%d, want 16/16", n, hits, misses)
+		}
+		if l.CachedFiles() != 16 {
+			t.Fatalf("node %d cached %d files", n, l.CachedFiles())
+		}
+	}
+}
+
+func TestLPCCMissingFile(t *testing.T) {
+	r := newRig(1, 1, 1024)
+	fleet := NewLPCCFleet(r.eng, r.fabric, r.gpfs, r.devs, 1<<30, 1)
+	r.eng.Spawn("job", func(p *sim.Proc) {
+		if _, _, err := fleet[0].Open(p, "/nope"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if err := r.eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPCCEvictionUnderPressure(t *testing.T) {
+	r := newRig(1, 16, 1<<20)
+	fleet := NewLPCCFleet(r.eng, r.fabric, r.gpfs, r.devs, 4<<20, 1) // fits 4 of 16
+	r.eng.Spawn("job", func(p *sim.Proc) {
+		for e := 0; e < 3; e++ {
+			for _, path := range r.ns.Paths() {
+				vfs.ReadFile(p, fleet[0], path)
+			}
+		}
+	})
+	if err := r.eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fleet[0].CachedFiles() > 4 {
+		t.Fatalf("cached %d files, capacity only fits 4", fleet[0].CachedFiles())
+	}
+	hits, misses := fleet[0].Stats()
+	if hits+misses != 48 {
+		t.Fatalf("hits+misses = %d", hits+misses)
+	}
+	if misses <= 16 {
+		t.Fatalf("misses = %d; eviction should force re-fetches", misses)
+	}
+}
+
+func TestBeeONDStripesAcrossDevices(t *testing.T) {
+	r := newRig(4, 4, 8<<20)
+	b := NewBeeOND(r.eng, r.fabric, r.devs, r.ns, DefaultBeeONDConfig())
+	client := b.Client(0)
+	r.eng.Spawn("job", func(p *sim.Proc) {
+		for _, path := range r.ns.Paths() {
+			n, err := vfs.ReadFile(p, client, path)
+			if err != nil || n != 8<<20 {
+				t.Errorf("read = %d, %v", n, err)
+			}
+		}
+	})
+	if err := r.eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 MB files with 1 MB stripes over 4 devices: every device serves.
+	for n, d := range r.devs {
+		if d.ReadsCompleted() == 0 {
+			t.Fatalf("device %d served no stripes", n)
+		}
+	}
+	if b.Opens() != 4 {
+		t.Fatalf("opens = %d", b.Opens())
+	}
+	// The PFS is never touched (dataset staged in).
+	if opens, _, _ := r.gpfs.Stats(); opens != 0 {
+		t.Fatalf("GPFS opens = %d, want 0", opens)
+	}
+}
+
+// The §II-D argument: BeeOND's metadata service saturates like GPFS's
+// (just later), while HVAC has no metadata service at all.
+func TestBeeONDMetadataSaturates(t *testing.T) {
+	tps := func(nodes int) float64 {
+		r := newRig(nodes, 256, 32<<10)
+		b := NewBeeOND(r.eng, r.fabric, r.devs, r.ns, DefaultBeeONDConfig())
+		var end sim.Time
+		for n := 0; n < nodes; n++ {
+			client := b.Client(simnet.NodeID(n))
+			rng := sim.NewRNG(uint64(n) + 1)
+			r.eng.Spawn("proc", func(p *sim.Proc) {
+				for i := 0; i < 50; i++ {
+					vfs.ReadFile(p, client, fmt.Sprintf("/gpfs/d/f%05d", rng.Intn(256)))
+				}
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		if err := r.eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(nodes*50) / sim.Time(end).Seconds()
+	}
+	t16, t256 := tps(16), tps(256)
+	if t256 > 10*t16 {
+		t.Fatalf("BeeOND metadata did not saturate: %.0f -> %.0f tps", t16, t256)
+	}
+}
+
+func TestBeeONDMissingFile(t *testing.T) {
+	r := newRig(2, 1, 1024)
+	b := NewBeeOND(r.eng, r.fabric, r.devs, r.ns, DefaultBeeONDConfig())
+	client := b.Client(1)
+	r.eng.Spawn("job", func(p *sim.Proc) {
+		if _, _, err := client.Open(p, "/gone"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if err := r.eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"hvac/internal/device"
+	"hvac/internal/sim"
+	"hvac/internal/simnet"
+	"hvac/internal/vfs"
+)
+
+// BeeONDConfig parameterises the transient shared file system.
+type BeeONDConfig struct {
+	// MetadataServers is the size of the on-demand metadata service
+	// (BeeOND defaults to very few; HVAC's point is that *any* metadata
+	// service re-creates the §II-C bottleneck).
+	MetadataServers int
+	// OpenService and CloseService are per-op metadata costs.
+	OpenService  time.Duration
+	CloseService time.Duration
+	// StripeSize is the striping unit across the node NVMes.
+	StripeSize int64
+}
+
+// DefaultBeeONDConfig returns a typical on-demand deployment: metadata on
+// a handful of the job's own nodes (faster per op than GPFS's
+// center-wide service, but still a fixed-size pool).
+func DefaultBeeONDConfig() BeeONDConfig {
+	return BeeONDConfig{
+		MetadataServers: 4,
+		OpenService:     40 * time.Microsecond,
+		CloseService:    10 * time.Microsecond,
+		StripeSize:      1 << 20,
+	}
+}
+
+// BeeOND is the transient striped shared FS over the allocation's NVMe
+// devices (§II-D: "aggregate the performance and capacity of internal
+// SSDs in compute nodes for the duration of a compute job"). The dataset
+// is assumed staged in (like XFS-on-NVMe, stage time excluded); unlike
+// HVAC, every open consults the job-wide metadata service.
+type BeeOND struct {
+	eng    *sim.Engine
+	fabric *simnet.Fabric
+	devs   []*device.Device
+	mds    *sim.Resource
+	cfg    BeeONDConfig
+	ns     *vfs.Namespace
+
+	opens int64
+}
+
+// NewBeeOND builds the transient FS over the allocation.
+func NewBeeOND(eng *sim.Engine, fabric *simnet.Fabric, devs []*device.Device,
+	ns *vfs.Namespace, cfg BeeONDConfig) *BeeOND {
+	if cfg.MetadataServers <= 0 {
+		cfg.MetadataServers = 1
+	}
+	if cfg.StripeSize <= 0 {
+		cfg.StripeSize = 1 << 20
+	}
+	return &BeeOND{
+		eng:    eng,
+		fabric: fabric,
+		devs:   devs,
+		mds:    sim.NewResource(eng, "beeond/mds", cfg.MetadataServers),
+		cfg:    cfg,
+		ns:     ns,
+	}
+}
+
+// Opens reports metadata opens served.
+func (b *BeeOND) Opens() int64 { return b.opens }
+
+// MDSUtilization reports the metadata pool utilization.
+func (b *BeeOND) MDSUtilization() float64 { return b.mds.Utilization() }
+
+// Client returns the per-node mount.
+func (b *BeeOND) Client(node simnet.NodeID) *BeeONDClient {
+	return &BeeONDClient{fs: b, node: node, handles: vfs.NewHandleTable()}
+}
+
+// ClientFS adapts per-node mounts to the train.Run provider signature.
+func (b *BeeOND) ClientFS() func(node, proc int) vfs.FS {
+	mounts := map[int]*BeeONDClient{}
+	return func(node, proc int) vfs.FS {
+		if m, ok := mounts[node]; ok {
+			return m
+		}
+		m := b.Client(simnet.NodeID(node))
+		mounts[node] = m
+		return m
+	}
+}
+
+// BeeONDClient is one node's mount of the transient FS.
+type BeeONDClient struct {
+	fs      *BeeOND
+	node    simnet.NodeID
+	handles *vfs.HandleTable
+}
+
+var _ vfs.FS = (*BeeONDClient)(nil)
+
+// Name implements vfs.FS.
+func (c *BeeONDClient) Name() string { return "beeond" }
+
+// Open implements vfs.FS: one transaction against the job-wide MDS.
+func (c *BeeONDClient) Open(p *sim.Proc, path string) (vfs.Handle, int64, error) {
+	c.fs.mds.Use(p, c.fs.cfg.OpenService)
+	size, ok := c.fs.ns.Lookup(path)
+	if !ok {
+		return 0, 0, fmt.Errorf("beeond: open %s: %w", path, vfs.ErrNotExist)
+	}
+	c.fs.opens++
+	return c.handles.Open(path, size), size, nil
+}
+
+// ReadAt implements vfs.FS: the range is striped over the node NVMes;
+// each stripe is read on its owner device and shipped over the fabric.
+func (c *BeeONDClient) ReadAt(p *sim.Proc, h vfs.Handle, off, n int64) (int64, error) {
+	path, size, err := c.handles.Get(h)
+	if err != nil {
+		return 0, err
+	}
+	n = vfs.ClampRead(size, off, n)
+	if n == 0 {
+		return 0, nil
+	}
+	stripe := c.fs.cfg.StripeSize
+	base := int64(placeHash(path)) % int64(len(c.fs.devs))
+	if base < 0 {
+		base += int64(len(c.fs.devs))
+	}
+	var done int64
+	for done < n {
+		pos := off + done
+		idx := pos / stripe
+		owner := simnet.NodeID((base + idx) % int64(len(c.fs.devs)))
+		chunk := (idx+1)*stripe - pos
+		if chunk > n-done {
+			chunk = n - done
+		}
+		c.fs.devs[owner].Read(p, chunk)
+		if c.fs.fabric != nil {
+			c.fs.fabric.Send(p, owner, c.node, chunk)
+		}
+		done += chunk
+	}
+	return n, nil
+}
+
+// Close implements vfs.FS.
+func (c *BeeONDClient) Close(p *sim.Proc, h vfs.Handle) error {
+	if err := c.handles.Close(h); err != nil {
+		return err
+	}
+	c.fs.mds.Use(p, c.fs.cfg.CloseService)
+	return nil
+}
+
+func placeHash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// splitmix finalizer for stripe-base dispersion
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

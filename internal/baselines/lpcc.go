@@ -1,0 +1,168 @@
+// Package baselines implements the two related-work systems the paper
+// positions HVAC against (§II-D), so the comparison is reproducible
+// rather than rhetorical:
+//
+//   - LPCC (Lustre persistent client caching, read-only mode): every node
+//     caches what *it* reads on its own NVMe. No cross-node sharing, so a
+//     job of N nodes pulls the dataset from the PFS up to N times, and
+//     the cache "is limited to the size and performance of a single
+//     node-local NVMe".
+//   - BeeOND (BeeGFS On Demand): a transient shared file system striped
+//     over the allocation's NVMe devices — fast data path, but it
+//     re-introduces the metadata service HVAC's hash placement removes.
+//
+// Both implement vfs.FS, so the training simulator compares them against
+// GPFS, XFS-on-NVMe and HVAC without modification.
+package baselines
+
+import (
+	"time"
+
+	"hvac/internal/cachestore"
+	"hvac/internal/device"
+	"hvac/internal/pfs"
+	"hvac/internal/sim"
+	"hvac/internal/simnet"
+	"hvac/internal/vfs"
+)
+
+// LPCCCosts are the client-side software costs of the LPCC-style cache.
+type LPCCCosts struct {
+	// HitCheck is the local cache-lookup cost per open.
+	HitCheck time.Duration
+	// FillOverhead is the per-file bookkeeping cost of a cache fill.
+	FillOverhead time.Duration
+}
+
+// DefaultLPCCCosts returns typical client-cache costs.
+func DefaultLPCCCosts() LPCCCosts {
+	return LPCCCosts{HitCheck: 6 * time.Microsecond, FillOverhead: 25 * time.Microsecond}
+}
+
+// LPCC is a node-private read-only cache over the node's NVMe: the
+// §II-D "read-only cache over the SSD of a single client".
+type LPCC struct {
+	eng     *sim.Engine
+	node    simnet.NodeID
+	gpfs    *pfs.GPFS
+	gpfsC   *pfs.Client
+	dev     *device.Device
+	index   *cachestore.Index
+	costs   LPCCCosts
+	handles *vfs.HandleTable
+	hCached map[vfs.Handle]bool
+	filling map[string]bool
+
+	hits, misses int64
+}
+
+// NewLPCC builds the cache for one node. capacity is the NVMe share
+// dedicated to the cache; policy nil means random eviction.
+func NewLPCC(eng *sim.Engine, node simnet.NodeID, fabric *simnet.Fabric,
+	g *pfs.GPFS, dev *device.Device, capacity int64, policy cachestore.Policy) *LPCC {
+	return &LPCC{
+		eng:     eng,
+		node:    node,
+		gpfs:    g,
+		gpfsC:   g.Client(fabric, node),
+		dev:     dev,
+		index:   cachestore.NewIndex(capacity, policy),
+		costs:   DefaultLPCCCosts(),
+		handles: vfs.NewHandleTable(),
+		hCached: make(map[vfs.Handle]bool),
+		filling: make(map[string]bool),
+	}
+}
+
+var _ vfs.FS = (*LPCC)(nil)
+
+// Name implements vfs.FS.
+func (l *LPCC) Name() string { return "lpcc" }
+
+// Stats reports local cache hits and misses.
+func (l *LPCC) Stats() (hits, misses int64) { return l.hits, l.misses }
+
+// CachedFiles reports resident file count.
+func (l *LPCC) CachedFiles() int { return l.index.Len() }
+
+// Open implements vfs.FS: a hit opens locally; a miss opens on the PFS
+// (read-through) and tees a local fill.
+func (l *LPCC) Open(p *sim.Proc, path string) (vfs.Handle, int64, error) {
+	p.Sleep(l.costs.HitCheck)
+	if l.index.Peek(path) {
+		l.index.Contains(path)
+		l.hits++
+		size, _ := l.index.Size(path)
+		h := l.handles.Open(path, size)
+		l.hCached[h] = true
+		return h, size, nil
+	}
+	l.misses++
+	size, err := l.gpfs.OpenMeta(p, path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return l.handles.Open(path, size), size, nil
+}
+
+// ReadAt implements vfs.FS.
+func (l *LPCC) ReadAt(p *sim.Proc, h vfs.Handle, off, n int64) (int64, error) {
+	path, size, err := l.handles.Get(h)
+	if err != nil {
+		return 0, err
+	}
+	n = vfs.ClampRead(size, off, n)
+	if n == 0 {
+		return 0, nil
+	}
+	if l.hCached[h] && l.index.Peek(path) {
+		l.index.Contains(path)
+		l.dev.Read(p, n)
+		return n, nil
+	}
+	l.gpfs.ReadBytes(p, n)
+	if off == 0 && !l.filling[path] && !l.index.Peek(path) {
+		l.filling[path] = true
+		l.scheduleFill(path, size)
+	}
+	return n, nil
+}
+
+func (l *LPCC) scheduleFill(path string, size int64) {
+	l.eng.Spawn("lpcc-fill", func(p *sim.Proc) {
+		defer delete(l.filling, path)
+		p.Sleep(l.costs.FillOverhead)
+		l.dev.Write(p, size)
+		l.index.Insert(path, size)
+	})
+}
+
+// Close implements vfs.FS.
+func (l *LPCC) Close(p *sim.Proc, h vfs.Handle) error {
+	cached := l.hCached[h]
+	delete(l.hCached, h)
+	if err := l.handles.Close(h); err != nil {
+		return err
+	}
+	if !cached {
+		l.gpfs.CloseMeta(p)
+	}
+	return nil
+}
+
+// NewLPCCFleet builds one LPCC per node over the given devices, all
+// backed by the same GPFS.
+func NewLPCCFleet(eng *sim.Engine, fabric *simnet.Fabric, g *pfs.GPFS,
+	devs []*device.Device, capacity int64, seed uint64) []*LPCC {
+	out := make([]*LPCC, len(devs))
+	for n := range devs {
+		out[n] = NewLPCC(eng, simnet.NodeID(n), fabric, g, devs[n], capacity,
+			cachestore.NewRandom(seed+uint64(n)*7919))
+	}
+	return out
+}
+
+// FleetFS adapts a fleet to the train.Run provider signature.
+func FleetFS(fleet []*LPCC) func(node, proc int) vfs.FS {
+	return func(node, proc int) vfs.FS { return fleet[node] }
+}

@@ -1,0 +1,178 @@
+// Package cachestore implements the node-local cache an HVAC server keeps
+// on its fast storage: capacity accounting, pinning of in-use files, and
+// the eviction policies from §III-G. The paper evicts randomly (datasets
+// rarely outgrow the aggregate NVMe of a 1,024-node allocation); LRU, FIFO
+// and CLOCK are included for the ablation benchmarks.
+//
+// The Index is content-agnostic — it tracks keys, sizes and eviction state
+// — so the same logic drives both the real on-disk store (Store) and the
+// simulated device-backed store in internal/core.
+package cachestore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge is returned when an item can never fit the cache.
+var ErrTooLarge = errors.New("cachestore: item larger than capacity")
+
+// ErrNoVictim is returned when eviction is needed but every entry is
+// pinned by an in-flight read.
+var ErrNoVictim = errors.New("cachestore: all entries pinned, nothing evictable")
+
+// Policy chooses eviction victims. Implementations are not safe for
+// concurrent use; the Index (or its caller) serialises access.
+type Policy interface {
+	Name() string
+	// OnInsert records a new key.
+	OnInsert(key string)
+	// OnAccess records a hit on key.
+	OnAccess(key string)
+	// OnRemove forgets key (evicted or explicitly removed).
+	OnRemove(key string)
+	// Victim proposes a key to evict, skipping keys for which excluded
+	// returns true. It returns "" when nothing qualifies.
+	Victim(excluded func(string) bool) string
+}
+
+type entry struct {
+	size int64
+	pins int
+}
+
+// Index tracks cached keys against a byte capacity.
+type Index struct {
+	capacity int64
+	used     int64
+	policy   Policy
+	entries  map[string]*entry
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// NewIndex builds an index with the given capacity and eviction policy.
+func NewIndex(capacity int64, policy Policy) *Index {
+	if policy == nil {
+		policy = NewRandom(0)
+	}
+	return &Index{capacity: capacity, policy: policy, entries: make(map[string]*entry)}
+}
+
+// Capacity returns the configured byte capacity.
+func (ix *Index) Capacity() int64 { return ix.capacity }
+
+// Used returns the bytes currently cached.
+func (ix *Index) Used() int64 { return ix.used }
+
+// Len returns the number of cached entries.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Policy returns the eviction policy.
+func (ix *Index) Policy() Policy { return ix.policy }
+
+// Contains reports whether key is cached, updating hit/miss counters and
+// recency state.
+func (ix *Index) Contains(key string) bool {
+	if _, ok := ix.entries[key]; ok {
+		ix.hits++
+		ix.policy.OnAccess(key)
+		return true
+	}
+	ix.misses++
+	return false
+}
+
+// Peek reports whether key is cached without touching counters or recency.
+func (ix *Index) Peek(key string) bool {
+	_, ok := ix.entries[key]
+	return ok
+}
+
+// Size returns the stored size of key.
+func (ix *Index) Size(key string) (int64, bool) {
+	e, ok := ix.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.size, true
+}
+
+// Insert admits key with the given size, evicting as needed. It returns
+// the keys evicted to make room. Inserting an existing key is a no-op.
+func (ix *Index) Insert(key string, size int64) (evicted []string, err error) {
+	if _, ok := ix.entries[key]; ok {
+		return nil, nil
+	}
+	if size > ix.capacity {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, size, ix.capacity)
+	}
+	for ix.used+size > ix.capacity {
+		victim := ix.policy.Victim(func(k string) bool { return ix.entries[k].pins > 0 })
+		if victim == "" {
+			return evicted, fmt.Errorf("%w (need %d bytes, %d used)", ErrNoVictim, size, ix.used)
+		}
+		ix.removeLocked(victim)
+		ix.evictions++
+		evicted = append(evicted, victim)
+	}
+	ix.entries[key] = &entry{size: size}
+	ix.used += size
+	ix.policy.OnInsert(key)
+	return evicted, nil
+}
+
+// Remove deletes key regardless of pins (server teardown); it reports
+// whether the key was present.
+func (ix *Index) Remove(key string) bool {
+	if _, ok := ix.entries[key]; !ok {
+		return false
+	}
+	ix.removeLocked(key)
+	return true
+}
+
+func (ix *Index) removeLocked(key string) {
+	e := ix.entries[key]
+	ix.used -= e.size
+	delete(ix.entries, key)
+	ix.policy.OnRemove(key)
+}
+
+// Pin marks key in use so it cannot be evicted. Returns false if absent.
+func (ix *Index) Pin(key string) bool {
+	e, ok := ix.entries[key]
+	if !ok {
+		return false
+	}
+	e.pins++
+	return true
+}
+
+// Unpin releases one pin on key.
+func (ix *Index) Unpin(key string) {
+	e, ok := ix.entries[key]
+	if !ok {
+		return
+	}
+	e.pins--
+	if e.pins < 0 {
+		panic("cachestore: unpin without pin on " + key)
+	}
+}
+
+// Keys returns all cached keys in unspecified order.
+func (ix *Index) Keys() []string {
+	out := make([]string, 0, len(ix.entries))
+	for k := range ix.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stats reports hits, misses and evictions since creation.
+func (ix *Index) Stats() (hits, misses, evictions int64) {
+	return ix.hits, ix.misses, ix.evictions
+}

@@ -1,0 +1,177 @@
+package cachestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the real-mode on-disk cache: files copied from the PFS live in
+// a flat directory on the node-local device, named by content-independent
+// key digest, with eviction driven by an Index. Store is safe for
+// concurrent use.
+type Store struct {
+	mu  sync.Mutex
+	dir string
+	ix  *Index
+}
+
+// NewStore creates (if needed) dir and returns a store with the given
+// capacity and policy.
+func NewStore(dir string, capacity int64, policy Policy) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	return &Store{dir: dir, ix: NewIndex(capacity, policy)}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) pathFor(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16]))
+}
+
+// Contains reports whether key is cached (and counts the hit/miss).
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Contains(key)
+}
+
+// Put copies size bytes from src into the cache under key, evicting as
+// needed. Partially written files are cleaned up on error. Putting an
+// existing key is a no-op (the reader is not consumed).
+func (s *Store) Put(key string, size int64, src io.Reader) error {
+	s.mu.Lock()
+	if s.ix.Peek(key) {
+		s.mu.Unlock()
+		return nil
+	}
+	evicted, err := s.ix.Insert(key, size)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	for _, victim := range evicted {
+		os.Remove(s.pathFor(victim))
+	}
+	// Hold our entry in the index while writing; pin it so a concurrent
+	// insert cannot evict the file mid-write.
+	s.ix.Pin(key)
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		s.ix.Unpin(key)
+		s.mu.Unlock()
+	}()
+
+	dst := s.pathFor(key)
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		s.dropEntry(key)
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	n, err := io.Copy(tmp, io.LimitReader(src, size))
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && n != size {
+		err = fmt.Errorf("cachestore: short copy for %s: %d of %d bytes", key, n, size)
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), dst)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		s.dropEntry(key)
+		return err
+	}
+	return nil
+}
+
+// dropEntry removes a failed Put's index entry; the deferred Unpin in Put
+// becomes a no-op once the entry is gone.
+func (s *Store) dropEntry(key string) {
+	s.mu.Lock()
+	s.ix.Remove(key)
+	s.mu.Unlock()
+}
+
+// Open returns the cached file for key, pinned against eviction. The
+// caller must invoke release exactly once after closing the file.
+func (s *Store) Open(key string) (f *os.File, release func(), err error) {
+	s.mu.Lock()
+	if !s.ix.Contains(key) {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("cachestore: %s not cached", key)
+	}
+	s.ix.Pin(key)
+	s.mu.Unlock()
+
+	f, err = os.Open(s.pathFor(key))
+	if err != nil {
+		s.mu.Lock()
+		s.ix.Unpin(key)
+		s.mu.Unlock()
+		return nil, nil, err
+	}
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.ix.Unpin(key)
+			s.mu.Unlock()
+		})
+	}
+	return f, release, nil
+}
+
+// Size returns the cached size of key.
+func (s *Store) Size(key string) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Size(key)
+}
+
+// Used reports cached bytes.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Used()
+}
+
+// Len reports the number of cached files.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Len()
+}
+
+// Stats reports hits, misses and evictions.
+func (s *Store) Stats() (hits, misses, evictions int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Stats()
+}
+
+// Purge removes every cached file — the job-end teardown (§III-D: the
+// cache's life cycle is coupled to the job's).
+func (s *Store) Purge() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, k := range s.ix.Keys() {
+		if err := os.Remove(s.pathFor(k)); err != nil && first == nil {
+			first = err
+		}
+		s.ix.Remove(k)
+	}
+	return first
+}

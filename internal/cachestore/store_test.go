@@ -1,0 +1,179 @@
+package cachestore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestStore(t *testing.T, capacity int64, p Policy) *Store {
+	t.Helper()
+	s, err := NewStore(filepath.Join(t.TempDir(), "cache"), capacity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutOpenRoundTrip(t *testing.T) {
+	s := newTestStore(t, 1<<20, NewLRU())
+	content := []byte("hello hvac cache")
+	if err := s.Put("/pfs/data/a.bin", int64(len(content)), bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains("/pfs/data/a.bin") {
+		t.Fatal("not cached after Put")
+	}
+	f, release, err := s.Open("/pfs/data/a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	f.Close()
+	release()
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestPutDuplicateNoop(t *testing.T) {
+	s := newTestStore(t, 1<<20, NewLRU())
+	s.Put("k", 3, strings.NewReader("abc"))
+	if err := s.Put("k", 3, strings.NewReader("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	f, release, _ := s.Open("k")
+	got, _ := io.ReadAll(f)
+	f.Close()
+	release()
+	if string(got) != "abc" {
+		t.Fatalf("duplicate Put overwrote content: %q", got)
+	}
+}
+
+func TestShortSourceFails(t *testing.T) {
+	s := newTestStore(t, 1<<20, NewLRU())
+	err := s.Put("k", 100, strings.NewReader("only a few bytes"))
+	if err == nil {
+		t.Fatal("short copy should fail")
+	}
+	if s.Contains("k") {
+		t.Fatal("failed Put left index entry")
+	}
+	if s.Used() != 0 {
+		t.Fatalf("used = %d after failed put", s.Used())
+	}
+}
+
+func TestEvictionRemovesFile(t *testing.T) {
+	s := newTestStore(t, 10, NewFIFO())
+	s.Put("a", 6, strings.NewReader("aaaaaa"))
+	s.Put("b", 6, strings.NewReader("bbbbbb")) // evicts a
+	if s.Contains("a") {
+		t.Fatal("a should be evicted")
+	}
+	if _, _, err := s.Open("a"); err == nil {
+		t.Fatal("open of evicted key should fail")
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files on disk, want 1 (evicted file removed)", len(entries))
+	}
+}
+
+func TestOpenPinsAgainstEviction(t *testing.T) {
+	s := newTestStore(t, 10, NewFIFO())
+	s.Put("a", 6, strings.NewReader("aaaaaa"))
+	f, release, err := s.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// a is pinned: inserting b has no victim.
+	if err := s.Put("b", 6, strings.NewReader("bbbbbb")); err == nil {
+		t.Fatal("expected ErrNoVictim while a is pinned")
+	}
+	release()
+	release() // idempotent
+	if err := s.Put("b", 6, strings.NewReader("bbbbbb")); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestConcurrentPutsAndReads(t *testing.T) {
+	s := newTestStore(t, 1<<20, NewLRU())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("file-%d", (w*50+i)%20)
+				content := strings.Repeat("x", 128)
+				if err := s.Put(key, 128, strings.NewReader(content)); err != nil {
+					t.Error(err)
+					return
+				}
+				f, release, err := s.Open(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b, _ := io.ReadAll(f)
+				f.Close()
+				release()
+				if len(b) != 128 {
+					t.Errorf("read %d bytes", len(b))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 20 {
+		t.Fatalf("len = %d, want 20", s.Len())
+	}
+}
+
+func TestPurge(t *testing.T) {
+	s := newTestStore(t, 1<<20, NewLRU())
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("k%d", i), 4, strings.NewReader("data"))
+	}
+	if err := s.Purge(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Used() != 0 {
+		t.Fatalf("after purge: len=%d used=%d", s.Len(), s.Used())
+	}
+	entries, _ := os.ReadDir(s.Dir())
+	if len(entries) != 0 {
+		t.Fatalf("%d files remain after purge", len(entries))
+	}
+}
+
+func TestKeyCollisionSafety(t *testing.T) {
+	// Similar path names must map to distinct cache files.
+	s := newTestStore(t, 1<<20, NewLRU())
+	s.Put("/data/f1", 1, strings.NewReader("1"))
+	s.Put("/data/f2", 1, strings.NewReader("2"))
+	f1, r1, err := s.Open("/data/f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := io.ReadAll(f1)
+	f1.Close()
+	r1()
+	if string(b1) != "1" {
+		t.Fatalf("f1 content = %q", b1)
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"hvac/internal/place"
+	"hvac/internal/transport"
+)
+
+// ClientConfig configures a real-mode HVAC client.
+type ClientConfig struct {
+	// Servers are the HVAC server addresses of the job allocation, in
+	// allocation order; placement hashes over this list.
+	Servers []string
+	// DatasetDir is the PFS directory whose reads are redirected —
+	// the HVAC_DATASET_DIR contract (§III-C). Paths outside it pass
+	// through to the local file system untouched.
+	DatasetDir string
+	// Placement is the redirection hash; nil means the paper's ModHash.
+	Placement place.Policy
+	// Replicas > 1 enables the §III-H failover design: if the home server
+	// is unreachable the client tries the next replica before falling
+	// back to the PFS.
+	Replicas int
+	// DisableFallback makes server failures hard errors instead of
+	// falling back to direct PFS reads; used in tests.
+	DisableFallback bool
+	// SegmentSize > 0 enables segment-level caching (§III-E): each
+	// SegmentSize-byte segment of a file is homed and cached
+	// independently, balancing load under highly skewed file sizes. The
+	// servers must be started with the same value.
+	SegmentSize int64
+}
+
+// ClientStats counts client-side activity.
+type ClientStats struct {
+	Redirected  int64 // opens served via HVAC
+	Passthrough int64 // opens outside the dataset dir
+	Fallbacks   int64 // opens that fell back to the PFS after server failure
+	Failovers   int64 // opens served by a non-primary replica
+	BytesRead   int64
+}
+
+// Client is a real-mode HVAC client: the Go equivalent of the LD_PRELOAD
+// interposition library (see DESIGN.md for the substitution argument).
+type Client struct {
+	cfg   ClientConfig
+	conns []*transport.Client
+
+	mu    sync.Mutex
+	stats ClientStats
+}
+
+// NewClient builds a client for the given configuration.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("core: ClientConfig.Servers is empty")
+	}
+	if cfg.DatasetDir == "" {
+		return nil, errors.New("core: ClientConfig.DatasetDir is required")
+	}
+	abs, err := filepath.Abs(cfg.DatasetDir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DatasetDir = abs
+	if cfg.Placement == nil {
+		cfg.Placement = place.ModHash{}
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	c := &Client{cfg: cfg}
+	for _, addr := range cfg.Servers {
+		c.conns = append(c.conns, transport.Dial(addr))
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close releases all server connections.
+func (c *Client) Close() {
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}
+
+// Intercepts reports whether path falls under the dataset directory and
+// would be redirected — the preload library's path test.
+func (c *Client) Intercepts(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return false
+	}
+	return abs == c.cfg.DatasetDir ||
+		strings.HasPrefix(abs, c.cfg.DatasetDir+string(filepath.Separator))
+}
+
+// Home returns the index of the server that homes path.
+func (c *Client) Home(path string) int {
+	return c.cfg.Placement.Place(path, len(c.conns))
+}
+
+// File is a read-only remote file handle served by an HVAC server (whole
+// file or segment-striped), or a fallback PFS handle. It implements
+// io.Reader, io.ReaderAt and io.Closer.
+type File struct {
+	c         *Client
+	conn      *transport.Client
+	handle    int64
+	size      int64
+	path      string
+	off       int64
+	fallback  *os.File
+	segmented bool
+	closed    bool
+	mu        sync.Mutex
+}
+
+// Open opens path through HVAC: redirected to its home server when under
+// the dataset dir, passed through to the OS otherwise, with PFS fallback
+// on server failure (unless disabled).
+func (c *Client) Open(path string) (*File, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Intercepts(abs) {
+		f, err := os.Open(abs)
+		if err != nil {
+			return nil, err
+		}
+		c.bump(func(s *ClientStats) { s.Passthrough++ })
+		return &File{c: c, fallback: f, path: abs}, nil
+	}
+
+	if c.cfg.SegmentSize > 0 {
+		return c.openSegmented(abs)
+	}
+	replicas := c.cfg.Placement.Replicas(abs, len(c.conns), c.cfg.Replicas)
+	var lastErr error
+	for i, srv := range replicas {
+		resp, err := c.conns[srv].Call(&transport.Request{Op: transport.OpOpen, Path: abs})
+		if err == nil && resp.OK() {
+			c.bump(func(s *ClientStats) {
+				s.Redirected++
+				if i > 0 {
+					s.Failovers++
+				}
+			})
+			return &File{c: c, conn: c.conns[srv], handle: resp.Handle, size: resp.Size, path: abs}, nil
+		}
+		if err == nil {
+			// The server answered with an application error (e.g. file
+			// absent on the PFS): no point trying replicas.
+			lastErr = resp.Error()
+			break
+		}
+		lastErr = err
+	}
+	if c.cfg.DisableFallback {
+		return nil, fmt.Errorf("hvac client: open %s: %w", abs, lastErr)
+	}
+	f, err := os.Open(abs)
+	if err != nil {
+		return nil, fmt.Errorf("hvac client: open %s: server(s) failed (%v) and PFS fallback failed: %w", abs, lastErr, err)
+	}
+	c.bump(func(s *ClientStats) { s.Fallbacks++ })
+	return &File{c: c, fallback: f, path: abs}, nil
+}
+
+func (c *Client) bump(f func(*ClientStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// segmentHome returns the connection serving segment i of path.
+func (c *Client) segmentHome(path string, seg int64) *transport.Client {
+	key := fmt.Sprintf("%s@%d", path, seg)
+	return c.conns[c.cfg.Placement.Place(key, len(c.conns))]
+}
+
+// openSegmented opens path in segment-striped mode: the size comes from a
+// stat on segment 0's home server; reads hit each segment's own home.
+func (c *Client) openSegmented(abs string) (*File, error) {
+	resp, err := c.segmentHome(abs, 0).Call(&transport.Request{Op: transport.OpStat, Path: abs})
+	if err == nil && resp.OK() {
+		c.bump(func(s *ClientStats) { s.Redirected++ })
+		return &File{c: c, path: abs, size: resp.Size, segmented: true}, nil
+	}
+	if err == nil {
+		err = resp.Error()
+	}
+	if c.cfg.DisableFallback {
+		return nil, fmt.Errorf("hvac client: open %s: %w", abs, err)
+	}
+	f, ferr := os.Open(abs)
+	if ferr != nil {
+		return nil, fmt.Errorf("hvac client: open %s: server failed (%v) and PFS fallback failed: %w", abs, err, ferr)
+	}
+	c.bump(func(s *ClientStats) { s.Fallbacks++ })
+	return &File{c: c, fallback: f, path: abs}, nil
+}
+
+// readAtSegmented splits the range over the per-segment home servers.
+func (f *File) readAtSegmented(p []byte, off int64) (int, error) {
+	segSize := f.c.cfg.SegmentSize
+	total := 0
+	for total < len(p) {
+		pos := off + int64(total)
+		if pos >= f.size {
+			return total, io.EOF
+		}
+		seg := pos / segSize
+		segEnd := (seg + 1) * segSize
+		want := int64(len(p) - total)
+		if pos+want > segEnd {
+			want = segEnd - pos
+		}
+		if pos+want > f.size {
+			want = f.size - pos
+		}
+		if want > transport.MaxFrame/2 {
+			want = transport.MaxFrame / 2
+		}
+		resp, err := f.c.segmentHome(f.path, seg).Call(&transport.Request{
+			Op: transport.OpReadAt, Path: f.path, Off: pos, Len: want,
+		})
+		if err != nil || !resp.OK() {
+			if err == nil {
+				err = resp.Error()
+			}
+			if f.c.cfg.DisableFallback {
+				return total, err
+			}
+			n, ferr := f.degradeToPFS(p[total:], pos)
+			total += n
+			if ferr == io.EOF {
+				return total, io.EOF
+			}
+			if ferr != nil {
+				return total, fmt.Errorf("hvac client: read %s: server failed (%v) and PFS fallback failed: %w", f.path, err, ferr)
+			}
+			return total, nil
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		f.c.bump(func(s *ClientStats) { s.BytesRead += int64(n) })
+		if int64(n) < want {
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// Size returns the file size (0 for passthrough handles until read).
+func (f *File) Size() int64 {
+	if f.fallback != nil {
+		if fi, err := f.fallback.Stat(); err == nil {
+			return fi.Size()
+		}
+	}
+	return f.size
+}
+
+// Path returns the opened path.
+func (f *File) Path() string { return f.path }
+
+// Remote reports whether the handle is served by an HVAC server.
+func (f *File) Remote() bool { return f.fallback == nil }
+
+// ReadAt implements io.ReaderAt. If the serving HVAC server dies
+// mid-file, the handle degrades to a direct PFS handle and the read
+// continues — a training job survives server loss without noticing.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	fb := f.fallback
+	f.mu.Unlock()
+	if fb != nil {
+		return fb.ReadAt(p, off)
+	}
+	if f.segmented {
+		return f.readAtSegmented(p, off)
+	}
+	total := 0
+	for total < len(p) {
+		want := int64(len(p) - total)
+		if want > transport.MaxFrame/2 {
+			want = transport.MaxFrame / 2
+		}
+		resp, err := f.conn.Call(&transport.Request{
+			Op: transport.OpRead, Handle: f.handle, Off: off + int64(total), Len: want,
+		})
+		if err != nil || !resp.OK() {
+			if err == nil {
+				err = resp.Error()
+			}
+			if f.c.cfg.DisableFallback {
+				return total, err
+			}
+			n, ferr := f.degradeToPFS(p[total:], off+int64(total))
+			total += n
+			if ferr == io.EOF {
+				return total, io.EOF
+			}
+			if ferr != nil {
+				return total, fmt.Errorf("hvac client: read %s: server failed (%v) and PFS fallback failed: %w", f.path, err, ferr)
+			}
+			return total, nil
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		f.c.bump(func(s *ClientStats) { s.BytesRead += int64(n) })
+		if int64(n) < want {
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// degradeToPFS converts the handle to a direct PFS handle after a server
+// failure and completes the read from it.
+func (f *File) degradeToPFS(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.fallback == nil {
+		pf, err := os.Open(f.path)
+		if err != nil {
+			f.mu.Unlock()
+			return 0, err
+		}
+		f.fallback = pf
+		f.c.bump(func(s *ClientStats) { s.Fallbacks++ })
+	}
+	fb := f.fallback
+	f.mu.Unlock()
+	return fb.ReadAt(p, off)
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.off
+	f.mu.Unlock()
+	n, err := f.ReadAt(p, off)
+	f.mu.Lock()
+	f.off = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Close implements io.Closer, releasing the server-side handle.
+func (f *File) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	if f.fallback != nil {
+		return f.fallback.Close()
+	}
+	if f.segmented {
+		return nil // stateless: no server-side handle to tear down
+	}
+	resp, err := f.conn.Call(&transport.Request{Op: transport.OpClose, Handle: f.handle})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// Prefetch asks the home servers to pre-populate their caches with the
+// given dataset files, without reading them — the paper's future-work
+// prefetching (§IV-C: "pre-populate the HVAC cache and reduce the
+// performance overhead of epoch-1"). It returns the number of files whose
+// prefetch was accepted; unreachable servers are skipped (their files
+// will be cached on first read instead).
+func (c *Client) Prefetch(paths []string) int {
+	accepted := 0
+	for _, path := range paths {
+		abs, err := filepath.Abs(path)
+		if err != nil || !c.Intercepts(abs) {
+			continue
+		}
+		srv := c.conns[c.Home(abs)]
+		resp, err := srv.Call(&transport.Request{Op: transport.OpPrefetch, Path: abs})
+		if err == nil && resp.OK() {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// ReadAll reads the whole file through the <open, read, close> transaction
+// the DL loaders issue (§III-F).
+func (c *Client) ReadAll(path string) ([]byte, error) {
+	f, err := c.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size := f.Size()
+	buf := make([]byte, size)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		return buf[:n], err
+	}
+	return buf[:n], nil
+}

@@ -1,0 +1,513 @@
+// Package core implements HVAC itself — the paper's contribution: a
+// client/server read-only cache (§III).
+//
+// Server side: RPC handlers enqueue forwarded file I/O onto a shared FIFO
+// queue drained by dedicated data-mover workers (§III-D). On the first
+// read of a file the data-mover copies it from the PFS to the node-local
+// store; subsequent reads are served from the cache, bypassing the PFS
+// entirely. A file is copied at most once even under concurrent requests.
+//
+// Client side: an interception layer redirects <open, read, close> for
+// paths under the dataset directory (the HVAC_DATASET_DIR contract of
+// §III-C) to the server that "homes" the file by hashing (§III-E),
+// falling back to the PFS when a server is unreachable.
+//
+// Both halves exist twice: the real mode below (goroutines, TCP, actual
+// files) and a simulated mode (sim*.go) used to reproduce the paper's
+// Summit-scale experiments; the placement, queueing and caching logic is
+// shared.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"hvac/internal/cachestore"
+	"hvac/internal/metrics"
+	"hvac/internal/transport"
+)
+
+// ServerConfig configures a real-mode HVAC server instance.
+type ServerConfig struct {
+	// ListenAddr is the TCP address to serve on ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// PFSDir is the parallel-file-system directory this server may cache
+	// from; requests outside it are refused.
+	PFSDir string
+	// CacheDir is the node-local storage directory for cached copies.
+	CacheDir string
+	// CacheCapacity is the cache size in bytes.
+	CacheCapacity int64
+	// Policy is the eviction policy; nil means the paper's random policy.
+	Policy cachestore.Policy
+	// Movers is the number of data-mover workers (the paper dedicates one
+	// thread per server instance; multi-instance deployments i×1 can
+	// equivalently run one server with i movers).
+	Movers int
+	// SegmentSize > 0 enables segment-level caching (§III-E): files are
+	// cached and served in SegmentSize-byte segments, each homed
+	// independently, which balances load for datasets with highly skewed
+	// file sizes. Clients must use the same value.
+	SegmentSize int64
+}
+
+// ServerStats counts server-side activity.
+type ServerStats struct {
+	Opens, Reads, Closes int64
+	Hits, Misses         int64
+	BytesServed          int64
+	BytesFetched         int64
+	Evictions            int64
+}
+
+type fetchResult struct {
+	done chan struct{}
+	err  error
+}
+
+// fetchTask names one data-mover copy: a whole file (Len == 0) or one
+// segment of it.
+type fetchTask struct {
+	key  string // cache-store key ("path" or "path@segIdx")
+	path string
+	off  int64
+	len  int64 // 0 = to EOF (whole file)
+}
+
+type openHandle struct {
+	f       *os.File
+	release func() // nil for direct (read-through) PFS handles
+	size    int64
+}
+
+// Server is a real-mode HVAC server instance.
+type Server struct {
+	cfg   ServerConfig
+	store *cachestore.Store
+	rpc   *transport.Server
+
+	fetchQ  chan fetchTask
+	moverWG sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]*fetchResult
+	handles  map[int64]*openHandle
+	nextFD   int64
+	stats    ServerStats
+	closed   bool
+
+	latOpen  metrics.Histogram
+	latRead  metrics.Histogram
+	latClose metrics.Histogram
+	latCopy  metrics.Histogram
+}
+
+// StartServer launches an HVAC server. Stop it with Close.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.PFSDir == "" {
+		return nil, errors.New("core: ServerConfig.PFSDir is required")
+	}
+	if cfg.Movers <= 0 {
+		cfg.Movers = 1
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 1 << 40
+	}
+	abs, err := filepath.Abs(cfg.PFSDir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.PFSDir = abs
+	store, err := cachestore.NewStore(cfg.CacheDir, cfg.CacheCapacity, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		fetchQ:   make(chan fetchTask, 1024),
+		inflight: make(map[string]*fetchResult),
+		handles:  make(map[int64]*openHandle),
+	}
+	for i := 0; i < cfg.Movers; i++ {
+		s.moverWG.Add(1)
+		go s.mover()
+	}
+	rpcSrv, err := transport.Serve(cfg.ListenAddr, s.handle)
+	if err != nil {
+		close(s.fetchQ)
+		s.moverWG.Wait()
+		return nil, err
+	}
+	s.rpc = rpcSrv
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.rpc.Addr() }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	_, _, ev := s.store.Stats()
+	st.Evictions = ev
+	return st
+}
+
+// CachedFiles reports the number of files currently cached.
+func (s *Server) CachedFiles() int { return s.store.Len() }
+
+// CachedBytes reports the bytes currently cached.
+func (s *Server) CachedBytes() int64 { return s.store.Used() }
+
+// Close tears the server down and purges the cache, mirroring the
+// job-coupled life cycle of §III-D.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	handles := s.handles
+	s.handles = map[int64]*openHandle{}
+	s.mu.Unlock()
+
+	s.rpc.Close()
+	close(s.fetchQ)
+	s.moverWG.Wait()
+	for _, h := range handles {
+		h.f.Close()
+		if h.release != nil {
+			h.release()
+		}
+	}
+	s.store.Purge()
+	os.Remove(s.store.Dir())
+}
+
+// mover is the data-mover worker: it drains the shared FIFO queue and
+// copies requested files from the PFS into the node-local store in the
+// background, while first reads are served read-through from the PFS.
+func (s *Server) mover() {
+	defer s.moverWG.Done()
+	for task := range s.fetchQ {
+		start := time.Now()
+		err := s.copyIn(task)
+		s.latCopy.Observe(time.Since(start))
+		s.mu.Lock()
+		fr := s.inflight[task.key]
+		if fr != nil {
+			fr.err = err
+			close(fr.done)
+			delete(s.inflight, task.key)
+		}
+		if err == nil {
+			s.stats.Misses++ // a completed first-read copy
+		}
+		s.mu.Unlock()
+	}
+}
+
+// WaitIdle blocks until every in-flight background copy has completed.
+// Useful for tests and for measuring clean warm-epoch performance.
+func (s *Server) WaitIdle() {
+	for {
+		s.mu.Lock()
+		var pending []*fetchResult
+		for _, fr := range s.inflight {
+			pending = append(pending, fr)
+		}
+		s.mu.Unlock()
+		if len(pending) == 0 {
+			return
+		}
+		for _, fr := range pending {
+			<-fr.done
+		}
+	}
+}
+
+func (s *Server) copyIn(task fetchTask) error {
+	src, err := os.Open(task.path)
+	if err != nil {
+		return fmt.Errorf("hvac server: pfs open: %w", err)
+	}
+	defer src.Close()
+	fi, err := src.Stat()
+	if err != nil {
+		return fmt.Errorf("hvac server: pfs stat: %w", err)
+	}
+	size := fi.Size() - task.off
+	if size < 0 {
+		size = 0
+	}
+	if task.len > 0 && task.len < size {
+		size = task.len
+	}
+	var rd io.Reader = src
+	if task.off > 0 || task.len > 0 {
+		rd = io.NewSectionReader(src, task.off, size)
+	}
+	if err := s.store.Put(task.key, size, rd); err != nil {
+		return fmt.Errorf("hvac server: cache fill: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.BytesFetched += size
+	s.mu.Unlock()
+	return nil
+}
+
+// scheduleFetch enqueues a background copy of path onto the data-mover
+// FIFO, once per file (the §III-D mutex-guarded queue guarantees a file
+// is copied only once even under concurrent first reads).
+func (s *Server) scheduleFetch(task fetchTask) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, ok := s.inflight[task.key]; ok {
+		s.mu.Unlock()
+		return
+	}
+	fr := &fetchResult{done: make(chan struct{})}
+	s.inflight[task.key] = fr
+	s.mu.Unlock()
+	s.fetchQ <- task
+}
+
+func errResp(err error) *transport.Response {
+	return &transport.Response{Status: transport.StatusError, Err: err.Error()}
+}
+
+// handle dispatches one RPC, recording per-operation service latency.
+func (s *Server) handle(req *transport.Request) *transport.Response {
+	start := time.Now()
+	switch req.Op {
+	case transport.OpPing:
+		return &transport.Response{Status: transport.StatusOK}
+	case transport.OpOpen:
+		defer func() { s.latOpen.Observe(time.Since(start)) }()
+		return s.handleOpen(req)
+	case transport.OpRead:
+		defer func() { s.latRead.Observe(time.Since(start)) }()
+		return s.handleRead(req)
+	case transport.OpClose:
+		defer func() { s.latClose.Observe(time.Since(start)) }()
+		return s.handleClose(req)
+	case transport.OpStat:
+		return s.handleStat(req)
+	case transport.OpPrefetch:
+		return s.handlePrefetch(req)
+	case transport.OpReadAt:
+		defer func() { s.latRead.Observe(time.Since(start)) }()
+		return s.handleReadAt(req)
+	default:
+		return errResp(fmt.Errorf("hvac server: unknown op %d", req.Op))
+	}
+}
+
+// LatencySummary renders the server's per-operation service-time
+// histograms (open/read/close handling plus data-mover copies).
+func (s *Server) LatencySummary() string {
+	return fmt.Sprintf("open: %s\nread: %s\nclose: %s\ncopy: %s",
+		s.latOpen.String(), s.latRead.String(), s.latClose.String(), s.latCopy.String())
+}
+
+// OpenLatency exposes the open-operation histogram.
+func (s *Server) OpenLatency() *metrics.Histogram { return &s.latOpen }
+
+// ReadLatency exposes the read-operation histogram.
+func (s *Server) ReadLatency() *metrics.Histogram { return &s.latRead }
+
+// CopyLatency exposes the data-mover copy histogram.
+func (s *Server) CopyLatency() *metrics.Histogram { return &s.latCopy }
+
+func (s *Server) allowed(path string) error {
+	clean := filepath.Clean(path)
+	if clean != s.cfg.PFSDir && !strings.HasPrefix(clean, s.cfg.PFSDir+string(filepath.Separator)) {
+		return fmt.Errorf("hvac server: %s outside served dataset dir %s", path, s.cfg.PFSDir)
+	}
+	return nil
+}
+
+// handleOpen serves a forwarded open: from the cache when resident;
+// otherwise read-through — the PFS file itself backs the handle while the
+// data-mover persists a copy in the background (tee-on-first-read), so the
+// first epoch proceeds at PFS concurrency instead of serialising on the
+// mover thread.
+func (s *Server) handleOpen(req *transport.Request) *transport.Response {
+	if err := s.allowed(req.Path); err != nil {
+		return errResp(err)
+	}
+	if s.store.Contains(req.Path) {
+		f, release, err := s.store.Open(req.Path)
+		if err == nil {
+			fi, serr := f.Stat()
+			if serr != nil {
+				f.Close()
+				release()
+				return errResp(serr)
+			}
+			s.mu.Lock()
+			s.nextFD++
+			fd := s.nextFD
+			s.handles[fd] = &openHandle{f: f, release: release, size: fi.Size()}
+			s.stats.Opens++
+			s.stats.Hits++
+			s.mu.Unlock()
+			return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
+		}
+		// Evicted between Contains and Open: fall through to read-through.
+	}
+	f, err := os.Open(req.Path)
+	if err != nil {
+		return errResp(fmt.Errorf("hvac server: pfs open: %w", err))
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return errResp(err)
+	}
+	s.scheduleFetch(fetchTask{key: req.Path, path: req.Path})
+	s.mu.Lock()
+	s.nextFD++
+	fd := s.nextFD
+	s.handles[fd] = &openHandle{f: f, size: fi.Size()}
+	s.stats.Opens++
+	s.mu.Unlock()
+	return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
+}
+
+func (s *Server) handleRead(req *transport.Request) *transport.Response {
+	s.mu.Lock()
+	h, ok := s.handles[req.Handle]
+	s.mu.Unlock()
+	if !ok {
+		return errResp(fmt.Errorf("hvac server: bad handle %d", req.Handle))
+	}
+	if req.Len < 0 || req.Len > transport.MaxFrame/2 {
+		return errResp(fmt.Errorf("hvac server: read length %d out of range", req.Len))
+	}
+	buf := make([]byte, req.Len)
+	n, err := h.f.ReadAt(buf, req.Off)
+	if err != nil && err != io.EOF {
+		return errResp(err)
+	}
+	s.mu.Lock()
+	s.stats.Reads++
+	s.stats.BytesServed += int64(n)
+	s.mu.Unlock()
+	return &transport.Response{Status: transport.StatusOK, Size: int64(n), Data: buf[:n]}
+}
+
+func (s *Server) handleClose(req *transport.Request) *transport.Response {
+	s.mu.Lock()
+	h, ok := s.handles[req.Handle]
+	delete(s.handles, req.Handle)
+	if ok {
+		s.stats.Closes++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return errResp(fmt.Errorf("hvac server: bad handle %d", req.Handle))
+	}
+	h.f.Close()
+	if h.release != nil {
+		h.release()
+	}
+	return &transport.Response{Status: transport.StatusOK}
+}
+
+// handlePrefetch enqueues a background copy of the file without opening
+// it — the pre-population path that erases the first-epoch overhead the
+// paper leaves to future work (§IV-C).
+func (s *Server) handlePrefetch(req *transport.Request) *transport.Response {
+	if err := s.allowed(req.Path); err != nil {
+		return errResp(err)
+	}
+	if !s.store.Contains(req.Path) {
+		s.scheduleFetch(fetchTask{key: req.Path, path: req.Path})
+	}
+	return &transport.Response{Status: transport.StatusOK}
+}
+
+// handleReadAt serves a stateless segment read: the requested byte range
+// must lie within one segment; the segment is served from the cache when
+// resident, read through from the PFS otherwise (with a background
+// segment copy scheduled).
+func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
+	segSize := s.cfg.SegmentSize
+	if segSize <= 0 {
+		return errResp(errors.New("hvac server: segment-level caching not enabled"))
+	}
+	if err := s.allowed(req.Path); err != nil {
+		return errResp(err)
+	}
+	if req.Len < 0 || req.Len > transport.MaxFrame/2 {
+		return errResp(fmt.Errorf("hvac server: read length %d out of range", req.Len))
+	}
+	segIdx := req.Off / segSize
+	if (req.Off+req.Len-1)/segSize != segIdx && req.Len > 0 {
+		return errResp(fmt.Errorf("hvac server: range [%d,%d) crosses a segment boundary", req.Off, req.Off+req.Len))
+	}
+	key := fmt.Sprintf("%s@%d", req.Path, segIdx)
+	buf := make([]byte, req.Len)
+
+	if s.store.Contains(key) {
+		f, release, err := s.store.Open(key)
+		if err == nil {
+			n, rerr := f.ReadAt(buf, req.Off-segIdx*segSize)
+			f.Close()
+			release()
+			if rerr != nil && rerr != io.EOF {
+				return errResp(rerr)
+			}
+			s.mu.Lock()
+			s.stats.Reads++
+			s.stats.Hits++
+			s.stats.BytesServed += int64(n)
+			s.mu.Unlock()
+			return &transport.Response{Status: transport.StatusOK, Size: int64(n), Data: buf[:n]}
+		}
+	}
+	// Read-through from the PFS; tee a background segment copy.
+	f, err := os.Open(req.Path)
+	if err != nil {
+		return errResp(fmt.Errorf("hvac server: pfs open: %w", err))
+	}
+	n, rerr := f.ReadAt(buf, req.Off)
+	f.Close()
+	if rerr != nil && rerr != io.EOF {
+		return errResp(rerr)
+	}
+	s.scheduleFetch(fetchTask{key: key, path: req.Path, off: segIdx * segSize, len: segSize})
+	s.mu.Lock()
+	s.stats.Reads++
+	s.stats.BytesServed += int64(n)
+	s.mu.Unlock()
+	return &transport.Response{Status: transport.StatusOK, Size: int64(n), Data: buf[:n]}
+}
+
+func (s *Server) handleStat(req *transport.Request) *transport.Response {
+	if err := s.allowed(req.Path); err != nil {
+		return errResp(err)
+	}
+	if size, ok := s.store.Size(req.Path); ok {
+		return &transport.Response{Status: transport.StatusOK, Size: size}
+	}
+	fi, err := os.Stat(req.Path)
+	if err != nil {
+		return errResp(err)
+	}
+	return &transport.Response{Status: transport.StatusOK, Size: fi.Size()}
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hvac/internal/vfs"
+)
+
+func TestPublishedCounts(t *testing.T) {
+	in := ImageNet21K()
+	if in.TrainFiles != 11_797_632 || in.ValFiles != 561_052 {
+		t.Fatalf("ImageNet21K counts = %d/%d (§IV-A3 says 11,797,632/561,052)", in.TrainFiles, in.ValFiles)
+	}
+	if tb := in.TotalTrainBytes(); tb < 1.0e12 || tb > 1.3e12 {
+		t.Fatalf("ImageNet21K total = %.2f TB, want ~1.1 (§IV-A3)", float64(tb)/1e12)
+	}
+	cu := CosmoUniverse()
+	if cu.TrainFiles != 524_288 || cu.ValFiles != 65_536 {
+		t.Fatalf("cosmoUniverse counts = %d/%d", cu.TrainFiles, cu.ValFiles)
+	}
+	if tb := cu.TotalTrainBytes(); tb < 1.2e12 || tb > 1.45e12 {
+		t.Fatalf("cosmoUniverse total = %.2f TB, want ~1.3", float64(tb)/1e12)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := ImageNet21K().Scale(0.001)
+	if s.TrainFiles != 11_797 {
+		t.Fatalf("scaled train files = %d", s.TrainFiles)
+	}
+	if s.MeanFileSize != ImageNet21K().MeanFileSize {
+		t.Fatal("scaling must not change file sizes")
+	}
+	if s.Name == ImageNet21K().Name {
+		t.Fatal("scaled spec should be distinguishable")
+	}
+}
+
+func TestScaleBadFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ImageNet21K().Scale(1.5)
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s := CosmoUniverse().Scale(0.001)
+	a, b := vfs.NewNamespace(), vfs.NewNamespace()
+	s.Build(a, false)
+	s.Build(b, false)
+	if a.Len() != b.Len() || a.TotalBytes() != b.TotalBytes() {
+		t.Fatalf("nondeterministic build: %d/%d vs %d/%d", a.Len(), a.TotalBytes(), b.Len(), b.TotalBytes())
+	}
+	if a.Len() != s.TrainFiles {
+		t.Fatalf("built %d files, want %d", a.Len(), s.TrainFiles)
+	}
+}
+
+func TestBuildIncludesVal(t *testing.T) {
+	s := CosmoUniverse().Scale(0.001)
+	ns := vfs.NewNamespace()
+	s.Build(ns, true)
+	if ns.Len() != s.TrainFiles+s.ValFiles {
+		t.Fatalf("with val: %d files, want %d", ns.Len(), s.TrainFiles+s.ValFiles)
+	}
+}
+
+func TestSizeDistributionMean(t *testing.T) {
+	s := ImageNet21K().Scale(0.002) // ~23.6k files
+	ns := s.Namespace()
+	mean := float64(ns.TotalBytes()) / float64(ns.Len())
+	want := float64(s.MeanFileSize)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("sampled mean %.0f deviates >5%% from %d", mean, s.MeanFileSize)
+	}
+}
+
+func TestSizesVaryWhenSigmaSet(t *testing.T) {
+	s := ImageNet21K().Scale(0.0005)
+	ns := s.Namespace()
+	sizes := map[int64]bool{}
+	for _, p := range ns.Paths() {
+		sz, _ := ns.Lookup(p)
+		sizes[sz] = true
+		if sz < 1024 {
+			t.Fatalf("file smaller than floor: %d", sz)
+		}
+	}
+	if len(sizes) < ns.Len()/2 {
+		t.Fatalf("only %d distinct sizes for %d files", len(sizes), ns.Len())
+	}
+	// Sigma 0 means fixed sizes.
+	fixed := Spec{Name: "fixed", TrainFiles: 100, MeanFileSize: 4096, PathPrefix: "/d"}
+	fns := fixed.Namespace()
+	for _, p := range fns.Paths() {
+		if sz, _ := fns.Lookup(p); sz != 4096 {
+			t.Fatalf("sigma=0 size = %d", sz)
+		}
+	}
+}
+
+func TestPathsDistinctAndPrefixed(t *testing.T) {
+	s := CosmoUniverse()
+	if s.TrainPath(0) == s.TrainPath(1) {
+		t.Fatal("duplicate paths")
+	}
+	if s.TrainPath(5) == s.ValPath(5) {
+		t.Fatal("train/val collide")
+	}
+	if filepath.Dir(filepath.Dir(s.TrainPath(0))) != s.PathPrefix {
+		t.Fatalf("path %q not under prefix %q", s.TrainPath(0), s.PathPrefix)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	s := Spec{Name: "tiny", TrainFiles: 50, MeanFileSize: 2048, SizeSigma: 0.3, PathPrefix: "/x"}
+	paths, err := s.Materialize(dir, 40*2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 || len(paths) > 50 {
+		t.Fatalf("materialized %d files", len(paths))
+	}
+	var total int64
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > 40*2048 {
+		t.Fatalf("total %d exceeds cap", total)
+	}
+}

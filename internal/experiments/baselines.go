@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hvac/internal/baselines"
+	"hvac/internal/metrics"
+	"hvac/internal/sim"
+	"hvac/internal/summit"
+	"hvac/internal/train"
+	"hvac/internal/vfs"
+)
+
+// Baselines compares HVAC against the §II-D related-work systems the
+// paper argues against — an LPCC-style node-local cache (no cross-node
+// sharing) and a BeeOND-style transient shared FS (fast data path, but a
+// job-wide metadata service) — alongside the paper's own baselines.
+func Baselines(opt Options) []*metrics.Table {
+	a := apps()[0] // ResNet50
+	data := a.data(opt)
+	epochs := 4
+	if opt.Full {
+		epochs = 10
+	}
+	nodeCounts := []int{32, 256}
+	if opt.Full {
+		nodeCounts = []int{32, 256, 1024}
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Related-work baselines: %s [BS=%d, Eps=%d] training time (minutes)", data.Name, a.batch, epochs),
+		"nodes", "gpfs", "lpcc", "beeond", "hvac(4x1)", "xfs-nvme")
+	gpfsTraffic := metrics.NewTable(
+		"Related-work baselines: total bytes pulled from GPFS (GB)",
+		"nodes", "gpfs", "lpcc", "hvac(4x1)")
+
+	for _, nodes := range nodeCounts {
+		times := map[string]float64{}
+		traffic := map[string]float64{}
+		for _, system := range []string{"gpfs", "lpcc", "beeond", "hvac(4x1)", "xfs-nvme"} {
+			eng := sim.NewEngine()
+			ns := vfs.NewNamespace()
+			data.Build(ns, false)
+			cluster := summit.NewCluster(eng, nodes, ns)
+			cluster.RegisterJob(nodes * 2)
+			var fsFor func(node, proc int) vfs.FS
+			switch system {
+			case "gpfs":
+				fsFor = cluster.GPFSFS()
+			case "lpcc":
+				fleet := baselines.NewLPCCFleet(eng, cluster.Fabric, cluster.GPFS,
+					cluster.Devices, cluster.Spec.NVMe.Capacity, opt.Seed)
+				fsFor = baselines.FleetFS(fleet)
+			case "beeond":
+				b := baselines.NewBeeOND(eng, cluster.Fabric, cluster.Devices, ns,
+					baselines.DefaultBeeONDConfig())
+				fsFor = b.ClientFS()
+			case "hvac(4x1)":
+				job := cluster.StartHVAC(summit.HVACOptions{InstancesPerNode: 4, EvictionSeed: opt.Seed})
+				fsFor = job.FS()
+			case "xfs-nvme":
+				fsFor = cluster.XFSFS()
+			}
+			res, err := train.Run(eng, train.Config{
+				Model: a.model, Data: data, Nodes: nodes,
+				BatchSize: a.batch, Epochs: epochs, Seed: opt.Seed,
+			}, fsFor)
+			if err != nil {
+				panic(err)
+			}
+			times[system] = res.TrainTime.Seconds()
+			_, _, bytes := cluster.GPFS.Stats()
+			traffic[system] = float64(bytes) / 1e9
+			opt.progress("baselines %s nodes=%d done (%.1fs)", system, nodes, times[system])
+		}
+		t.AddFloats(fmt.Sprint(nodes), 3,
+			minutes(times["gpfs"]), minutes(times["lpcc"]), minutes(times["beeond"]),
+			minutes(times["hvac(4x1)"]), minutes(times["xfs-nvme"]))
+		gpfsTraffic.AddFloats(fmt.Sprint(nodes), 2,
+			traffic["gpfs"], traffic["lpcc"], traffic["hvac(4x1)"])
+	}
+	return []*metrics.Table{t, gpfsTraffic}
+}

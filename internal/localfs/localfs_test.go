@@ -1,0 +1,120 @@
+package localfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hvac/internal/device"
+	"hvac/internal/sim"
+	"hvac/internal/vfs"
+)
+
+func makeFS(eng *sim.Engine, files int, size int64) *FS {
+	ns := vfs.NewNamespace()
+	for i := 0; i < files; i++ {
+		ns.Add(fmt.Sprintf("/nvme/f%05d", i), size)
+	}
+	dev := device.New(eng, "nvme0", device.SummitNVMe())
+	return New(XFS(), dev, ns)
+}
+
+func TestOpenReadClose(t *testing.T) {
+	eng := sim.NewEngine()
+	f := makeFS(eng, 4, 64<<10)
+	eng.Spawn("r", func(p *sim.Proc) {
+		n, err := vfs.ReadFile(p, f, "/nvme/f00002")
+		if err != nil || n != 64<<10 {
+			t.Errorf("read = %d,%v", n, err)
+		}
+		if _, _, err := f.Open(p, "/gone"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("missing open err = %v", err)
+		}
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	opens, reads, bytes := f.Stats()
+	if opens != 1 || reads != 1 || bytes != 64<<10 {
+		t.Fatalf("stats = %d,%d,%d", opens, reads, bytes)
+	}
+}
+
+func TestBadHandle(t *testing.T) {
+	eng := sim.NewEngine()
+	f := makeFS(eng, 1, 100)
+	eng.Spawn("r", func(p *sim.Proc) {
+		if _, err := f.ReadAt(p, vfs.Handle(99), 0, 10); !errors.Is(err, vfs.ErrBadHandle) {
+			t.Errorf("err = %v", err)
+		}
+		if err := f.Close(p, vfs.Handle(99)); !errors.Is(err, vfs.ErrBadHandle) {
+			t.Errorf("close err = %v", err)
+		}
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Independence: two nodes' local file systems do not contend — aggregate
+// scales linearly, the core XFS-on-NVMe property from §II-C.
+func TestLinearScaling(t *testing.T) {
+	elapsed := func(nodes int) time.Duration {
+		eng := sim.NewEngine()
+		var end sim.Time
+		for n := 0; n < nodes; n++ {
+			f := makeFS(eng, 64, 32<<10)
+			eng.Spawn("r", func(p *sim.Proc) {
+				for i := 0; i < 64; i++ {
+					if _, err := vfs.ReadFile(p, f, fmt.Sprintf("/nvme/f%05d", i)); err != nil {
+						t.Error(err)
+					}
+				}
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		if err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Duration(end)
+	}
+	t1 := elapsed(1)
+	t16 := elapsed(16)
+	// Same per-node work: makespan should be flat as nodes grow.
+	if t16 > t1+t1/10 {
+		t.Fatalf("16-node makespan %v should equal 1-node %v (independent devices)", t16, t1)
+	}
+}
+
+func TestDeviceParallelismBoundsNode(t *testing.T) {
+	// Many concurrent readers on ONE node share that node's device.
+	eng := sim.NewEngine()
+	f := makeFS(eng, 256, 1<<20)
+	var end sim.Time
+	for c := 0; c < 16; c++ {
+		c := c
+		eng.Spawn("r", func(p *sim.Proc) {
+			for i := 0; i < 16; i++ {
+				vfs.ReadFile(p, f, fmt.Sprintf("/nvme/f%05d", c*16+i))
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	moved := float64(256 * (1 << 20))
+	bw := moved / sim.Time(end).Seconds()
+	max := device.SummitNVMe().ReadBandwidth
+	if bw > max*1.05 {
+		t.Fatalf("node read bw %.2f GB/s exceeds device %.2f GB/s", bw/1e9, max/1e9)
+	}
+	if bw < max*0.5 {
+		t.Fatalf("node read bw %.2f GB/s too far below device cap %.2f GB/s", bw/1e9, max/1e9)
+	}
+}

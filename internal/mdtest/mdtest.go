@@ -1,0 +1,104 @@
+// Package mdtest reimplements the MDTest benchmark the paper uses to
+// motivate HVAC (§II-C): every process performs timed random
+// <open-read-close> transactions against a file system, and the aggregate
+// transactions/second exposes metadata-service saturation (32 KB files,
+// Fig. 3) versus bandwidth saturation (8 MB files, Fig. 4).
+package mdtest
+
+import (
+	"fmt"
+	"time"
+
+	"hvac/internal/sim"
+	"hvac/internal/vfs"
+)
+
+// Config parameterises an MDTest run.
+type Config struct {
+	// Nodes and ProcsPerNode shape the MPI job.
+	Nodes        int
+	ProcsPerNode int
+	// OpsPerProc is the number of <open-read-close> transactions each
+	// process performs.
+	OpsPerProc int
+	// Files is the shared file population size.
+	Files int
+	// FileSize is the per-file size (32 KB and 8 MB in the paper).
+	FileSize int64
+	// Seed drives the random file choices.
+	Seed uint64
+}
+
+// Result reports an MDTest run.
+type Result struct {
+	// TPS is aggregate transactions per second.
+	TPS float64
+	// Elapsed is the makespan (slowest process).
+	Elapsed time.Duration
+	// Ops is the total completed transactions.
+	Ops int64
+	// Errors counts failed transactions.
+	Errors int64
+	// AggregateBandwidth is payload bytes per second.
+	AggregateBandwidth float64
+}
+
+// Namespace builds the file population for cfg.
+func (cfg Config) Namespace() *vfs.Namespace {
+	ns := vfs.NewNamespace()
+	for i := 0; i < cfg.Files; i++ {
+		ns.Add(cfg.Path(i), cfg.FileSize)
+	}
+	return ns
+}
+
+// Path returns the i-th test file path.
+func (cfg Config) Path(i int) string {
+	return fmt.Sprintf("/gpfs/mdtest/%08d.dat", i)
+}
+
+// Run executes the benchmark on eng against fsFor-provided file systems
+// and drives the engine to completion.
+func Run(eng *sim.Engine, cfg Config, fsFor func(node, proc int) vfs.FS) (*Result, error) {
+	if cfg.Files <= 0 {
+		return nil, fmt.Errorf("mdtest: no files configured")
+	}
+	if cfg.Nodes <= 0 || cfg.ProcsPerNode <= 0 || cfg.OpsPerProc <= 0 {
+		return nil, fmt.Errorf("mdtest: nodes, procs and ops must be positive")
+	}
+	res := &Result{}
+	var makespan sim.Time
+	for node := 0; node < cfg.Nodes; node++ {
+		for proc := 0; proc < cfg.ProcsPerNode; proc++ {
+			rank := node*cfg.ProcsPerNode + proc
+			fs := fsFor(node, proc)
+			rng := sim.NewRNG(cfg.Seed ^ (uint64(rank)+1)*0x9e3779b97f4a7c15)
+			eng.Spawn(fmt.Sprintf("mdtest-rank%d", rank), func(p *sim.Proc) {
+				for op := 0; op < cfg.OpsPerProc; op++ {
+					path := cfg.Path(rng.Intn(cfg.Files))
+					n, err := vfs.ReadFile(p, fs, path)
+					if err != nil {
+						res.Errors++
+						continue
+					}
+					res.Ops++
+					res.AggregateBandwidth += float64(n) // bytes; divided later
+				}
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+			})
+		}
+	}
+	start := eng.Now()
+	if err := eng.RunAll(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = makespan.Sub(start)
+	if res.Elapsed > 0 {
+		sec := res.Elapsed.Seconds()
+		res.TPS = float64(res.Ops) / sec
+		res.AggregateBandwidth /= sec
+	}
+	return res, nil
+}

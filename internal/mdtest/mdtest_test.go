@@ -1,0 +1,91 @@
+package mdtest
+
+import (
+	"testing"
+
+	"hvac/internal/sim"
+	"hvac/internal/summit"
+)
+
+func TestRunGPFS(t *testing.T) {
+	cfg := Config{Nodes: 2, ProcsPerNode: 4, OpsPerProc: 25, Files: 64, FileSize: 32 << 10, Seed: 1}
+	eng := sim.NewEngine()
+	cl := summit.NewCluster(eng, cfg.Nodes, cfg.Namespace())
+	res, err := Run(eng, cfg, cl.GPFSFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2*4*25 {
+		t.Fatalf("ops = %d, want 200", res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.TPS <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("tps=%f elapsed=%v", res.TPS, res.Elapsed)
+	}
+	wantBW := res.TPS * float64(32<<10)
+	if diff := res.AggregateBandwidth - wantBW; diff > wantBW*0.01 || diff < -wantBW*0.01 {
+		t.Fatalf("bandwidth %f inconsistent with tps %f", res.AggregateBandwidth, res.TPS)
+	}
+}
+
+// The §II-C motivation: XFS-on-NVMe transaction rate scales with nodes
+// while GPFS saturates on its metadata pool.
+func TestScalingShape(t *testing.T) {
+	tps := func(nodes int, xfs bool) float64 {
+		cfg := Config{Nodes: nodes, ProcsPerNode: 6, OpsPerProc: 40, Files: 512, FileSize: 32 << 10, Seed: 2}
+		eng := sim.NewEngine()
+		cl := summit.NewCluster(eng, nodes, cfg.Namespace())
+		cl.RegisterJob(nodes * cfg.ProcsPerNode)
+		fs := cl.GPFSFS()
+		if xfs {
+			fs = cl.XFSFS()
+		}
+		res, err := Run(eng, cfg, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TPS
+	}
+	gp16, gp256 := tps(16, false), tps(256, false)
+	xf16, xf256 := tps(16, true), tps(256, true)
+	// XFS scales ~linearly (16x nodes -> >12x tps).
+	if xf256 < 12*xf16 {
+		t.Fatalf("XFS scaling weak: %f -> %f", xf16, xf256)
+	}
+	// GPFS saturates on its metadata pool (<8x over the same growth).
+	if gp256 > 8*gp16 {
+		t.Fatalf("GPFS did not saturate: %f -> %f", gp16, gp256)
+	}
+	// At 256 nodes XFS is far ahead.
+	if xf256 < 3*gp256 {
+		t.Fatalf("XFS (%f) should dominate GPFS (%f) at 256 nodes", xf256, gp256)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := Run(eng, Config{}, nil); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Run(eng, Config{Files: 10}, nil); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		cfg := Config{Nodes: 2, ProcsPerNode: 2, OpsPerProc: 30, Files: 32, FileSize: 8 << 20, Seed: 3}
+		eng := sim.NewEngine()
+		cl := summit.NewCluster(eng, 2, cfg.Namespace())
+		res, err := Run(eng, cfg, cl.GPFSFS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TPS
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic mdtest: %f vs %f", a, b)
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a concurrency-safe log2-bucketed latency histogram, used
+// by the real-mode HVAC server to report per-operation service times.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [64]int64
+	total  int64
+	sumNS  int64
+	maxNS  int64
+}
+
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sumNS += d.Nanoseconds()
+	if ns := d.Nanoseconds(); ns > h.maxNS {
+		h.maxNS = ns
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean reports the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS / h.total)
+}
+
+// Max reports the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.maxNS)
+}
+
+// Quantile estimates the q-quantile (0..1) from bucket boundaries; the
+// result is an upper bound of the true quantile within a factor of two.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			if b == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1) << uint(b)) // bucket upper bound
+		}
+	}
+	return time.Duration(h.maxNS)
+}
+
+// String renders a compact summary: count, mean, p50/p90/p99, max.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.90).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// Quantile is a power-of-two upper bound.
+	if q := h.Quantile(0.5); q < time.Millisecond || q > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want within [1ms, 2ms]", q)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles out of order: %v %v %v", p50, p90, p99)
+	}
+	if p50 > 2*501*time.Microsecond {
+		t.Fatalf("p50 = %v, too high", p50)
+	}
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles inverted")
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 0 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.String()
+	for _, want := range []string{"n=1", "mean=3ms", "p50=", "max=3ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hvac/internal/sim"
+	"hvac/internal/simnet"
+	"hvac/internal/vfs"
+)
+
+func smallConfig() Config {
+	return Config{
+		MetadataServers:    2,
+		OpenService:        100 * time.Microsecond,
+		CloseService:       20 * time.Microsecond,
+		TokenContention:    0.001,
+		DataStreams:        8,
+		AggregateBandwidth: 4e9,
+		ReadOverhead:       10 * time.Microsecond,
+		ClientOverhead:     time.Microsecond,
+	}
+}
+
+func makeNS(n int, size int64) *vfs.Namespace {
+	ns := vfs.NewNamespace()
+	for i := 0; i < n; i++ {
+		ns.Add(fmt.Sprintf("/data/f%05d", i), size)
+	}
+	return ns
+}
+
+func TestOpenReadClose(t *testing.T) {
+	eng := sim.NewEngine()
+	g := New(eng, smallConfig(), makeNS(10, 1000))
+	c := g.Client(nil, 0)
+	eng.Spawn("r", func(p *sim.Proc) {
+		h, size, err := c.Open(p, "/data/f00003")
+		if err != nil || size != 1000 {
+			t.Errorf("open = %d,%v", size, err)
+			return
+		}
+		n, err := c.ReadAt(p, h, 0, 1000)
+		if err != nil || n != 1000 {
+			t.Errorf("read = %d,%v", n, err)
+		}
+		n, err = c.ReadAt(p, h, 900, 500)
+		if err != nil || n != 100 {
+			t.Errorf("short read = %d,%v (want 100)", n, err)
+		}
+		if err := c.Close(p, h); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if _, err := c.ReadAt(p, h, 0, 1); !errors.Is(err, vfs.ErrBadHandle) {
+			t.Errorf("read after close = %v, want ErrBadHandle", err)
+		}
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	opens, reads, bytes := g.Stats()
+	if opens != 1 || reads != 2 || bytes != 1100 {
+		t.Fatalf("stats = %d,%d,%d", opens, reads, bytes)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	eng := sim.NewEngine()
+	g := New(eng, smallConfig(), makeNS(1, 10))
+	c := g.Client(nil, 0)
+	eng.Spawn("r", func(p *sim.Proc) {
+		if _, _, err := c.Open(p, "/nope"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("err = %v, want ErrNotExist", err)
+		}
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Metadata saturation: open throughput is capped by the MDS pool no matter
+// how many clients issue opens — the Fig. 3 mechanism.
+func TestMetadataSaturation(t *testing.T) {
+	throughput := func(clients int) float64 {
+		eng := sim.NewEngine()
+		g := New(eng, smallConfig(), makeNS(100, 32<<10))
+		c := g.Client(nil, 0)
+		const opsPerClient = 50
+		var done sim.Time
+		for i := 0; i < clients; i++ {
+			eng.Spawn("c", func(p *sim.Proc) {
+				for k := 0; k < opsPerClient; k++ {
+					h, size, err := c.Open(p, "/data/f00000")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					c.ReadAt(p, h, 0, size)
+					c.Close(p, h)
+				}
+				if p.Now() > done {
+					done = p.Now()
+				}
+			})
+		}
+		if err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(clients*opsPerClient) / sim.Time(done).Seconds()
+	}
+	t1 := throughput(1)
+	t8 := throughput(8)
+	t64 := throughput(64)
+	// One client is latency-bound: far below the pool ceiling.
+	if t8 < 2*t1 {
+		t.Fatalf("8 clients (%.0f tps) should scale well beyond 1 client (%.0f tps)", t8, t1)
+	}
+	// With MDS pool of 2 @ (100+20)us the txn ceiling is ~16.7k/s; 64
+	// clients must not exceed it.
+	if t64 > 18000 {
+		t.Fatalf("64-client throughput %.0f tps exceeds metadata ceiling", t64)
+	}
+	// Saturation: growing clients 8x from 8 to 64 must gain < 3x.
+	if t64 > 3*t8 {
+		t.Fatalf("no saturation: t8=%.0f t64=%.0f", t8, t64)
+	}
+}
+
+// Token contention: the same offered load gets slower when many more
+// clients are registered — the degradation past the Fig. 8 peak.
+func TestTokenContentionDegradation(t *testing.T) {
+	elapsed := func(registered int) time.Duration {
+		eng := sim.NewEngine()
+		g := New(eng, smallConfig(), makeNS(10, 1000))
+		g.RegisterClients(registered)
+		c := g.Client(nil, 0)
+		var end sim.Time
+		eng.Spawn("c", func(p *sim.Proc) {
+			for k := 0; k < 100; k++ {
+				h, _, _ := c.Open(p, "/data/f00001")
+				c.Close(p, h)
+			}
+			end = p.Now()
+		})
+		if err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Duration(end)
+	}
+	small := elapsed(10)
+	big := elapsed(5000)
+	if big <= small {
+		t.Fatalf("metadata time with 5000 clients (%v) should exceed 10 clients (%v)", big, small)
+	}
+}
+
+// Bandwidth saturation: large reads are capped by aggregate NSD bandwidth —
+// the Fig. 4 mechanism.
+func TestBandwidthSaturation(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallConfig() // 4 GB/s aggregate
+	g := New(eng, cfg, makeNS(64, 8<<20))
+	var end sim.Time
+	const clients = 32
+	for i := 0; i < clients; i++ {
+		i := i
+		c := g.Client(nil, 0)
+		eng.Spawn("c", func(p *sim.Proc) {
+			for k := 0; k < 4; k++ {
+				path := fmt.Sprintf("/data/f%05d", (i*4+k)%64)
+				if _, err := vfs.ReadFile(p, c, path); err != nil {
+					t.Error(err)
+				}
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	moved := float64(clients * 4 * (8 << 20))
+	bw := moved / sim.Time(end).Seconds()
+	if bw > cfg.AggregateBandwidth*1.05 {
+		t.Fatalf("achieved %.2f GB/s, above the %.2f GB/s aggregate cap", bw/1e9, cfg.AggregateBandwidth/1e9)
+	}
+	if bw < cfg.AggregateBandwidth*0.5 {
+		t.Fatalf("achieved %.2f GB/s, should approach the aggregate cap under 32 streams", bw/1e9)
+	}
+}
+
+func TestClientNICAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	fabric := simnet.New(eng, simnet.SummitEDR(), 2)
+	g := New(eng, smallConfig(), makeNS(4, 1<<20))
+	c := g.Client(fabric, 1)
+	eng.Spawn("r", func(p *sim.Proc) {
+		if _, err := vfs.ReadFile(p, c, "/data/f00000"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fabric.BytesMoved() != 1<<20 {
+		t.Fatalf("fabric bytes = %d, want 1 MiB", fabric.BytesMoved())
+	}
+}
+
+func TestAlpineDefaults(t *testing.T) {
+	cfg := Alpine()
+	if cfg.AggregateBandwidth != 2.5e12 {
+		t.Fatalf("Alpine aggregate = %.1f TB/s, want 2.5 (Table/§IV-A1)", cfg.AggregateBandwidth/1e12)
+	}
+	// The metadata txn ceiling must be comparable to the 8MB bandwidth
+	// ceiling (so the Fig. 4 plateau sits near the data path's limit,
+	// far below NVMe's linear scaling) and far below the 32KB bandwidth
+	// ceiling (so Fig. 3 is metadata-bound).
+	txnCeiling := float64(cfg.MetadataServers) / (cfg.OpenService + cfg.CloseService).Seconds()
+	bwCeiling8MB := cfg.AggregateBandwidth / (8 << 20)
+	if txnCeiling < bwCeiling8MB/2 {
+		t.Fatalf("metadata ceiling %.0f too far below 8MB bandwidth ceiling %.0f", txnCeiling, bwCeiling8MB)
+	}
+	bwCeiling32KB := cfg.AggregateBandwidth / (32 << 10)
+	if txnCeiling >= bwCeiling32KB {
+		t.Fatalf("metadata ceiling %.0f must be below 32KB bandwidth ceiling %.0f", txnCeiling, bwCeiling32KB)
+	}
+	zero := New(sim.NewEngine(), Config{}, vfs.NewNamespace())
+	if zero.Config().MetadataServers == 0 {
+		t.Fatal("zero config not defaulted")
+	}
+}

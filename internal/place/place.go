@@ -1,0 +1,225 @@
+// Package place implements HVAC's hash-based I/O redirection (§III-E):
+// the cache location of a file is computed algorithmically from the file
+// path and the job's node allocation, so no metadata store, in-memory
+// database or broadcast lookup is ever needed, and load spreads evenly
+// across the allocation's HVAC servers.
+//
+// The paper uses a single hash of (path, allocation) onto the server list;
+// that is ModHash here, the default. Rendezvous (highest-random-weight)
+// and a consistent-hash ring are provided for the ablation benchmarks, and
+// every policy can return R distinct replicas to support the paper's
+// future-work replication/failover design (§III-H).
+package place
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Policy deterministically maps a file path onto one of n servers.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Place returns the home server index in [0, n) for path.
+	Place(path string, n int) int
+	// Replicas returns r distinct server indices for path, primary first.
+	// r is clamped to n.
+	Replicas(path string, n, r int) []int
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer, used to combine a path hash with a
+// server index with full avalanche — plain FNV over a concatenated suffix
+// is too weakly mixed for argmax-style selection (rendezvous) to balance.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ModHash is the paper's placement: FNV-1a over the path, modulo the
+// allocation size. An optional AllocationSalt mixes in the job's node
+// allocation so distinct jobs spread the same dataset differently.
+type ModHash struct {
+	AllocationSalt uint64
+}
+
+// Name implements Policy.
+func (ModHash) Name() string { return "modhash" }
+
+// Place implements Policy.
+func (m ModHash) Place(path string, n int) int {
+	if n <= 0 {
+		panic("place: no servers")
+	}
+	return int(mix64(hash64(path)^m.AllocationSalt) % uint64(n))
+}
+
+// Replicas implements Policy: the primary plus consecutive probe slots.
+func (m ModHash) Replicas(path string, n, r int) []int {
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	first := m.Place(path, n)
+	out := make([]int, 0, r)
+	for i := 0; i < r; i++ {
+		out = append(out, (first+i)%n)
+	}
+	return out
+}
+
+// Rendezvous is highest-random-weight hashing: minimal disruption when the
+// allocation grows or shrinks, at O(n) per placement.
+type Rendezvous struct {
+	AllocationSalt uint64
+}
+
+// Name implements Policy.
+func (Rendezvous) Name() string { return "rendezvous" }
+
+func (rv Rendezvous) weight(path string, server int) uint64 {
+	return mix64(hash64(path) ^ rv.AllocationSalt ^ (uint64(server)+1)*0x9e3779b97f4a7c15)
+}
+
+// Place implements Policy.
+func (rv Rendezvous) Place(path string, n int) int {
+	if n <= 0 {
+		panic("place: no servers")
+	}
+	best, bestW := 0, uint64(0)
+	for s := 0; s < n; s++ {
+		if w := rv.weight(path, s); w >= bestW {
+			best, bestW = s, w
+		}
+	}
+	return best
+}
+
+// Replicas implements Policy: the r highest-weight servers.
+func (rv Rendezvous) Replicas(path string, n, r int) []int {
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	type sw struct {
+		s int
+		w uint64
+	}
+	all := make([]sw, n)
+	for s := 0; s < n; s++ {
+		all[s] = sw{s, rv.weight(path, s)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].s < all[j].s
+	})
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		out[i] = all[i].s
+	}
+	return out
+}
+
+// Ring is consistent hashing with virtual nodes. Rings are memoised per
+// allocation size; a Ring value must not be copied after first use.
+type Ring struct {
+	// VNodes is the number of virtual nodes per server (default 64).
+	VNodes int
+	rings  map[int]ringTable
+}
+
+type ringTable struct {
+	points  []uint64
+	servers []int
+}
+
+// Name implements Policy.
+func (*Ring) Name() string { return "ring" }
+
+func (rg *Ring) table(n int) ringTable {
+	if rg.rings == nil {
+		rg.rings = make(map[int]ringTable)
+	}
+	if t, ok := rg.rings[n]; ok {
+		return t
+	}
+	v := rg.VNodes
+	if v <= 0 {
+		v = 64
+	}
+	t := ringTable{
+		points:  make([]uint64, 0, n*v),
+		servers: make([]int, 0, n*v),
+	}
+	type pt struct {
+		p uint64
+		s int
+	}
+	pts := make([]pt, 0, n*v)
+	for s := 0; s < n; s++ {
+		for k := 0; k < v; k++ {
+			pts = append(pts, pt{mix64(uint64(s)<<32 | uint64(k)), s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].p < pts[j].p })
+	for _, e := range pts {
+		t.points = append(t.points, e.p)
+		t.servers = append(t.servers, e.s)
+	}
+	rg.rings[n] = t
+	return t
+}
+
+// Place implements Policy.
+func (rg *Ring) Place(path string, n int) int {
+	if n <= 0 {
+		panic("place: no servers")
+	}
+	t := rg.table(n)
+	h := hash64(path)
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i] >= h })
+	if i == len(t.points) {
+		i = 0
+	}
+	return t.servers[i]
+}
+
+// Replicas implements Policy: walk the ring collecting distinct servers.
+func (rg *Ring) Replicas(path string, n, r int) []int {
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	t := rg.table(n)
+	h := hash64(path)
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i] >= h })
+	out := make([]int, 0, r)
+	seen := make(map[int]bool, r)
+	for len(out) < r {
+		if i == len(t.points) {
+			i = 0
+		}
+		s := t.servers[i]
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+		i++
+	}
+	return out
+}

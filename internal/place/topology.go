@@ -1,0 +1,81 @@
+package place
+
+// Topology makes any placement policy rack-aware, implementing the
+// §III-H future-work note that "topology ... will also be considered when
+// calculating the location of a given file": the primary copy stays where
+// the base policy puts it, but additional replicas are forced into
+// *different racks*, so a rack-level failure (switch, power) cannot take
+// out every copy of a file.
+type Topology struct {
+	// Base is the underlying policy (nil means ModHash).
+	Base Policy
+	// RackSize is the number of consecutive server indices per rack
+	// (Summit cabinets hold 18 nodes; the default is 18).
+	RackSize int
+}
+
+func (t Topology) base() Policy {
+	if t.Base == nil {
+		return ModHash{}
+	}
+	return t.Base
+}
+
+func (t Topology) rackSize() int {
+	if t.RackSize <= 0 {
+		return 18
+	}
+	return t.RackSize
+}
+
+// Name implements Policy.
+func (t Topology) Name() string { return "topology(" + t.base().Name() + ")" }
+
+// Place implements Policy: identical to the base policy.
+func (t Topology) Place(path string, n int) int { return t.base().Place(path, n) }
+
+// rackOf returns the rack index of a server.
+func (t Topology) rackOf(server int) int { return server / t.rackSize() }
+
+// Replicas implements Policy: candidates come from the base policy's
+// preference order, but a candidate sharing a rack with an already-chosen
+// replica is skipped while rack-distinct candidates remain.
+func (t Topology) Replicas(path string, n, r int) []int {
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	// Base preference order over every server: take the base's full
+	// replica list (length n) as the candidate ranking.
+	candidates := t.base().Replicas(path, n, n)
+	out := make([]int, 0, r)
+	usedRacks := make(map[int]bool, r)
+	// First pass: rack-distinct picks in preference order.
+	for _, s := range candidates {
+		if len(out) == r {
+			return out
+		}
+		if usedRacks[t.rackOf(s)] {
+			continue
+		}
+		usedRacks[t.rackOf(s)] = true
+		out = append(out, s)
+	}
+	// Not enough racks: fill with the remaining candidates in order.
+	chosen := make(map[int]bool, len(out))
+	for _, s := range out {
+		chosen[s] = true
+	}
+	for _, s := range candidates {
+		if len(out) == r {
+			break
+		}
+		if !chosen[s] {
+			chosen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package place
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyPrimaryMatchesBase(t *testing.T) {
+	base := ModHash{}
+	topo := Topology{Base: base, RackSize: 4}
+	for i := 0; i < 200; i++ {
+		p := fmt.Sprintf("/f%04d", i)
+		if topo.Place(p, 64) != base.Place(p, 64) {
+			t.Fatal("topology changed the primary placement")
+		}
+	}
+}
+
+func TestTopologyReplicasSpanRacks(t *testing.T) {
+	topo := Topology{Base: Rendezvous{}, RackSize: 4}
+	const n = 64 // 16 racks
+	for i := 0; i < 200; i++ {
+		p := fmt.Sprintf("/f%04d", i)
+		reps := topo.Replicas(p, n, 3)
+		if len(reps) != 3 {
+			t.Fatalf("replicas = %v", reps)
+		}
+		racks := map[int]bool{}
+		for _, s := range reps {
+			racks[s/4] = true
+		}
+		if len(racks) != 3 {
+			t.Fatalf("replicas %v span only %d racks", reps, len(racks))
+		}
+	}
+}
+
+func TestTopologyFallsBackWhenRacksExhausted(t *testing.T) {
+	// 4 servers in ONE rack: 3 replicas must still be produced.
+	topo := Topology{Base: ModHash{}, RackSize: 8}
+	reps := topo.Replicas("/x", 4, 3)
+	if len(reps) != 3 {
+		t.Fatalf("replicas = %v, want 3 despite a single rack", reps)
+	}
+	seen := map[int]bool{}
+	for _, s := range reps {
+		if seen[s] {
+			t.Fatalf("duplicate replica in %v", reps)
+		}
+		seen[s] = true
+	}
+}
+
+func TestTopologyProperties(t *testing.T) {
+	topo := Topology{RackSize: 6}
+	f := func(path string, servers, reps uint8) bool {
+		n := int(servers%48) + 1
+		r := int(reps%6) + 1
+		got := topo.Replicas(path, n, r)
+		want := r
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		if got[0] != topo.Place(path, n) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range got {
+			if s < 0 || s >= n || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyDefaults(t *testing.T) {
+	topo := Topology{}
+	if topo.Name() != "topology(modhash)" {
+		t.Fatalf("name = %s", topo.Name())
+	}
+	if got := topo.Place("/a", 10); got < 0 || got >= 10 {
+		t.Fatalf("place = %d", got)
+	}
+	if topo.rackSize() != 18 {
+		t.Fatalf("default rack size = %d, want 18 (Summit cabinet)", topo.rackSize())
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw callback events per second.
+func BenchmarkEventThroughput(b *testing.B) {
+	eng := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(time.Microsecond, tick)
+		}
+	}
+	eng.After(time.Microsecond, tick)
+	b.ResetTimer()
+	if err := eng.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSwitch measures process suspend/resume round trips.
+func BenchmarkProcSwitch(b *testing.B) {
+	eng := NewEngine()
+	eng.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures queued resource usage.
+func BenchmarkResourceContention(b *testing.B) {
+	eng := NewEngine()
+	r := NewResource(eng, "cpu", 2)
+	per := b.N/8 + 1
+	for w := 0; w < 8; w++ {
+		eng.Spawn("w", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Use(p, time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := eng.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package trace records per-operation I/O events — a Darshan-style
+// profile of what a training job actually did: every <open, read, close>
+// with its (virtual or wall-clock) start time, duration, byte count and
+// serving tier. The paper's §III-F profiling of ResNet50's loader is
+// exactly this kind of trace; the package lets any simulated or real run
+// produce one.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op is the traced operation kind.
+type Op uint8
+
+// Operation kinds.
+const (
+	Open Op = iota + 1
+	Read
+	Close
+	Prefetch
+)
+
+// String renders the op name.
+func (o Op) String() string {
+	switch o {
+	case Open:
+		return "open"
+	case Read:
+		return "read"
+	case Close:
+		return "close"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return fmt.Sprintf("op(%d)", o)
+	}
+}
+
+// Tier identifies which layer served the operation.
+type Tier uint8
+
+// Serving tiers.
+const (
+	TierUnknown     Tier = iota
+	TierPFS              // shared parallel file system
+	TierCacheLocal       // HVAC server on the same node
+	TierCacheRemote      // HVAC server on another node
+	TierNodeLocal        // node-local FS (XFS-on-NVMe)
+)
+
+// String renders the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierPFS:
+		return "pfs"
+	case TierCacheLocal:
+		return "cache-local"
+	case TierCacheRemote:
+		return "cache-remote"
+	case TierNodeLocal:
+		return "node-local"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded operation.
+type Event struct {
+	Start    time.Duration // virtual or wall-clock offset from run start
+	Duration time.Duration
+	Op       Op
+	Tier     Tier
+	Bytes    int64
+	Path     string
+}
+
+// Recorder collects events. It is safe for concurrent use (real mode);
+// the simulated mode is effectively single-threaded but shares the type.
+// A nil *Recorder is a valid no-op sink.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	cap    int
+}
+
+// NewRecorder returns a recorder keeping at most capHint events
+// (0 = unbounded).
+func NewRecorder(capHint int) *Recorder {
+	return &Recorder{cap: capHint}
+}
+
+// Record appends one event; over-capacity events are dropped (the count
+// of kept events is what Summarise reports on).
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cap > 0 && len(r.events) >= r.cap {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len reports the number of kept events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the kept events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// WriteCSV dumps the trace as CSV: start_us,dur_us,op,tier,bytes,path.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%s,%d,%s\n",
+			e.Start.Microseconds(), e.Duration.Microseconds(),
+			e.Op, e.Tier, e.Bytes, e.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TierSummary aggregates one (op, tier) cell.
+type TierSummary struct {
+	Ops    int64
+	Bytes  int64
+	Total  time.Duration
+	MaxDur time.Duration
+}
+
+// Summarise aggregates the trace per (op, tier).
+func (r *Recorder) Summarise() map[Op]map[Tier]*TierSummary {
+	out := map[Op]map[Tier]*TierSummary{}
+	for _, e := range r.Events() {
+		byTier, ok := out[e.Op]
+		if !ok {
+			byTier = map[Tier]*TierSummary{}
+			out[e.Op] = byTier
+		}
+		s, ok := byTier[e.Tier]
+		if !ok {
+			s = &TierSummary{}
+			byTier[e.Tier] = s
+		}
+		s.Ops++
+		s.Bytes += e.Bytes
+		s.Total += e.Duration
+		if e.Duration > s.MaxDur {
+			s.MaxDur = e.Duration
+		}
+	}
+	return out
+}
+
+// String renders the summary as a compact report, ops sorted.
+func (r *Recorder) String() string {
+	sum := r.Summarise()
+	var ops []Op
+	for op := range sum {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events\n", r.Len())
+	for _, op := range ops {
+		var tiers []Tier
+		for tier := range sum[op] {
+			tiers = append(tiers, tier)
+		}
+		sort.Slice(tiers, func(i, j int) bool { return tiers[i] < tiers[j] })
+		for _, tier := range tiers {
+			s := sum[op][tier]
+			mean := time.Duration(0)
+			if s.Ops > 0 {
+				mean = s.Total / time.Duration(s.Ops)
+			}
+			fmt.Fprintf(&b, "  %-8s %-12s ops=%-8d bytes=%-12d mean=%-10v max=%v\n",
+				op, tier, s.Ops, s.Bytes, mean.Round(time.Microsecond), s.MaxDur.Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndSummarise(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Op: Read, Tier: TierCacheLocal, Bytes: 100, Duration: time.Millisecond})
+	r.Record(Event{Op: Read, Tier: TierCacheLocal, Bytes: 200, Duration: 3 * time.Millisecond})
+	r.Record(Event{Op: Read, Tier: TierPFS, Bytes: 50, Duration: 10 * time.Millisecond})
+	r.Record(Event{Op: Open, Tier: TierCacheRemote, Duration: time.Microsecond})
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	sum := r.Summarise()
+	local := sum[Read][TierCacheLocal]
+	if local.Ops != 2 || local.Bytes != 300 || local.MaxDur != 3*time.Millisecond {
+		t.Fatalf("local summary = %+v", local)
+	}
+	if sum[Read][TierPFS].Ops != 1 {
+		t.Fatal("pfs read missing")
+	}
+	if sum[Open][TierCacheRemote].Ops != 1 {
+		t.Fatal("open missing")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Op: Read}) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder misbehaves")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Op: Read, Bytes: int64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want capped 3", r.Len())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Start: time.Second, Duration: 2 * time.Millisecond, Op: Read, Tier: TierNodeLocal, Bytes: 42, Path: "/d/f1"})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if line != "1000000,2000,read,node-local,42,/d/f1" {
+		t.Fatalf("csv = %q", line)
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Op: Open, Tier: TierPFS, Duration: time.Millisecond})
+	r.Record(Event{Op: Read, Tier: TierCacheRemote, Bytes: 1024, Duration: time.Millisecond})
+	out := r.String()
+	for _, want := range []string{"2 events", "open", "pfs", "read", "cache-remote"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpAndTierStrings(t *testing.T) {
+	if Open.String() != "open" || Read.String() != "read" || Close.String() != "close" || Prefetch.String() != "prefetch" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatal("unknown op name wrong")
+	}
+	if TierUnknown.String() != "unknown" || TierPFS.String() != "pfs" {
+		t.Fatal("tier names wrong")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Op: Read, Bytes: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 4000 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

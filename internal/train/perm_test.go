@@ -1,0 +1,97 @@
+package train
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hvac/internal/sim"
+)
+
+func TestPermIsBijection(t *testing.T) {
+	f := func(seed uint64, size uint16) bool {
+		n := int(size%5000) + 1
+		p := NewPerm(sim.NewRNG(seed), n)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := p.Index(i)
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermDeterministic(t *testing.T) {
+	a := NewPerm(sim.NewRNG(9), 1000)
+	b := NewPerm(sim.NewRNG(9), 1000)
+	for i := 0; i < 1000; i++ {
+		if a.Index(i) != b.Index(i) {
+			t.Fatal("same-seed permutations diverge")
+		}
+	}
+	c := NewPerm(sim.NewRNG(10), 1000)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Index(i) == c.Index(i) {
+			same++
+		}
+	}
+	if same > 30 {
+		t.Fatalf("different seeds agree on %d/1000 points", same)
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	// The permutation must not be close to identity.
+	p := NewPerm(sim.NewRNG(3), 10000)
+	fixed := 0
+	for i := 0; i < 10000; i++ {
+		if p.Index(i) == i {
+			fixed++
+		}
+	}
+	if fixed > 30 { // expectation is ~1 fixed point
+		t.Fatalf("%d fixed points", fixed)
+	}
+}
+
+func TestPermTinyDomains(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		p := NewPerm(sim.NewRNG(uint64(n)), n)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			seen[p.Index(i)] = true
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("n=%d: %d unmapped", n, i)
+			}
+		}
+	}
+}
+
+func TestPermOutOfRangePanics(t *testing.T) {
+	p := NewPerm(sim.NewRNG(1), 10)
+	for _, bad := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%d) did not panic", bad)
+				}
+			}()
+			p.Index(bad)
+		}()
+	}
+}
+
+func BenchmarkPermIndex(b *testing.B) {
+	p := NewPerm(sim.NewRNG(1), 11_797_632)
+	for i := 0; i < b.N; i++ {
+		p.Index(i % 11_797_632)
+	}
+}

@@ -1,0 +1,47 @@
+package transport
+
+import "testing"
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	srv, err := Serve("127.0.0.1:0", func(req *Request) *Response {
+		return &Response{Status: StatusOK, Size: 128}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := Dial(srv.Addr())
+	defer cli.Close()
+	req := &Request{Op: OpOpen, Path: "/gpfs/dataset/file.rec"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkResponse1MB(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	srv, err := Serve("127.0.0.1:0", func(req *Request) *Response {
+		return &Response{Status: StatusOK, Data: payload, Size: int64(len(payload))}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := Dial(srv.Addr())
+	defer cli.Close()
+	req := &Request{Op: OpRead, Len: 1 << 20}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cli.Call(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Data) != 1<<20 {
+			b.Fatal("short payload")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package transport is the Mercury-equivalent RPC and bulk-transfer layer
+// for HVAC's real mode: a compact length-prefixed binary protocol over TCP
+// sockets (the paper runs Mercury over InfiniBand; both expose the same two
+// primitives — small RPCs and bulk data movement — with the same failure
+// surface).
+//
+// Wire format, little-endian:
+//
+//	request:  u32 frame | u8 op | u64 handle | u64 off | u64 len | u16 pathLen | path
+//	response: u32 frame | u8 status | u64 handle | u64 size | u32 dataLen | data | u16 errLen | err
+//
+// The frame length counts everything after the length field. Bulk payloads
+// ride in the response's data section.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies an RPC operation.
+type Op uint8
+
+// Protocol operations: the three POSIX calls HVAC forwards (§III-D), Stat
+// for probes, Ping for liveness, and Prefetch — the paper's future-work
+// cache pre-population (§III-H / §IV-C) that hides the first-epoch copy.
+const (
+	OpOpen Op = iota + 1
+	OpRead
+	OpClose
+	OpStat
+	OpPing
+	OpPrefetch
+	// OpReadAt is a stateless ranged read used by segment-level caching
+	// (§III-E mentions HFetch-style segment caching as the fix for
+	// datasets with highly skewed file sizes): the byte range names the
+	// segment; no server-side handle exists.
+	OpReadAt
+)
+
+// Status codes.
+const (
+	StatusOK uint8 = iota
+	StatusError
+)
+
+// MaxFrame bounds a frame to 64 MiB, comfortably above the 16 MiB reads
+// the paper profiled from ResNet50's loader (§III-F).
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports an oversized or corrupt frame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+
+// Request is a client->server message.
+type Request struct {
+	Op     Op
+	Handle int64
+	Off    int64
+	Len    int64
+	Path   string
+}
+
+// Response is a server->client message.
+type Response struct {
+	Status uint8
+	Handle int64
+	Size   int64
+	Data   []byte
+	Err    string
+}
+
+// OK reports whether the response carries no error.
+func (r *Response) OK() bool { return r.Status == StatusOK }
+
+// Error converts an error response into a Go error, or nil.
+func (r *Response) Error() error {
+	if r.Status == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("transport: remote error: %s", r.Err)
+}
+
+// WriteRequest encodes req onto w.
+func WriteRequest(w io.Writer, req *Request) error {
+	if len(req.Path) > 1<<16-1 {
+		return fmt.Errorf("transport: path too long (%d bytes)", len(req.Path))
+	}
+	frame := 1 + 8 + 8 + 8 + 2 + len(req.Path)
+	buf := make([]byte, 4+frame)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(frame))
+	buf[4] = byte(req.Op)
+	binary.LittleEndian.PutUint64(buf[5:], uint64(req.Handle))
+	binary.LittleEndian.PutUint64(buf[13:], uint64(req.Off))
+	binary.LittleEndian.PutUint64(buf[21:], uint64(req.Len))
+	binary.LittleEndian.PutUint16(buf[29:], uint16(len(req.Path)))
+	copy(buf[31:], req.Path)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadRequest decodes one request from r.
+func ReadRequest(r io.Reader) (*Request, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	frame := binary.LittleEndian.Uint32(lenBuf[:])
+	if frame > MaxFrame || frame < 31-4 {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, frame)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	req := &Request{
+		Op:     Op(buf[0]),
+		Handle: int64(binary.LittleEndian.Uint64(buf[1:])),
+		Off:    int64(binary.LittleEndian.Uint64(buf[9:])),
+		Len:    int64(binary.LittleEndian.Uint64(buf[17:])),
+	}
+	pathLen := int(binary.LittleEndian.Uint16(buf[25:]))
+	if 27+pathLen > len(buf) {
+		return nil, fmt.Errorf("transport: corrupt request: path length %d overruns frame", pathLen)
+	}
+	req.Path = string(buf[27 : 27+pathLen])
+	return req, nil
+}
+
+// WriteResponse encodes resp onto w.
+func WriteResponse(w io.Writer, resp *Response) error {
+	if len(resp.Err) > 1<<16-1 {
+		return fmt.Errorf("transport: error string too long")
+	}
+	frame := 1 + 8 + 8 + 4 + len(resp.Data) + 2 + len(resp.Err)
+	if frame > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	head := make([]byte, 4+1+8+8+4)
+	binary.LittleEndian.PutUint32(head[0:], uint32(frame))
+	head[4] = resp.Status
+	binary.LittleEndian.PutUint64(head[5:], uint64(resp.Handle))
+	binary.LittleEndian.PutUint64(head[13:], uint64(resp.Size))
+	binary.LittleEndian.PutUint32(head[21:], uint32(len(resp.Data)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if len(resp.Data) > 0 {
+		if _, err := w.Write(resp.Data); err != nil {
+			return err
+		}
+	}
+	tail := make([]byte, 2+len(resp.Err))
+	binary.LittleEndian.PutUint16(tail[0:], uint16(len(resp.Err)))
+	copy(tail[2:], resp.Err)
+	_, err := w.Write(tail)
+	return err
+}
+
+// ReadResponse decodes one response from r.
+func ReadResponse(r io.Reader) (*Response, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	frame := binary.LittleEndian.Uint32(lenBuf[:])
+	if frame > MaxFrame || frame < 1+8+8+4+2 {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, frame)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Status: buf[0],
+		Handle: int64(binary.LittleEndian.Uint64(buf[1:])),
+		Size:   int64(binary.LittleEndian.Uint64(buf[9:])),
+	}
+	dataLen := int(binary.LittleEndian.Uint32(buf[17:]))
+	if 21+dataLen+2 > len(buf) {
+		return nil, fmt.Errorf("transport: corrupt response: data length %d overruns frame", dataLen)
+	}
+	if dataLen > 0 {
+		resp.Data = buf[21 : 21+dataLen : 21+dataLen]
+	}
+	errLen := int(binary.LittleEndian.Uint16(buf[21+dataLen:]))
+	if 23+dataLen+errLen > len(buf) {
+		return nil, fmt.Errorf("transport: corrupt response: error length %d overruns frame", errLen)
+	}
+	resp.Err = string(buf[23+dataLen : 23+dataLen+errLen])
+	return resp, nil
+}

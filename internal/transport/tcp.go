@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one request and produces its response. Handlers must
+// be safe for concurrent use; the server invokes one per in-flight request.
+type Handler func(*Request) *Response
+
+// Server accepts HVAC protocol connections and dispatches requests.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") with the given
+// handler and begins accepting in the background.
+func Serve(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := ReadRequest(conn)
+		if err != nil {
+			return // EOF or broken peer
+		}
+		resp := s.handler(req)
+		if resp == nil {
+			resp = &Response{Status: StatusError, Err: "nil response from handler"}
+		}
+		if err := WriteResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, severs all connections and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// ErrClientClosed is returned by Call after Close.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// Client is a connection-pooling RPC client for one server address. Calls
+// are synchronous; the pool bounds concurrent sockets.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// Dial returns a client for addr. No connection is made until the first
+// Call.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: 5 * time.Second}
+}
+
+// Addr returns the target address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.DialTimeout("tcp", c.addr, c.dialTimeout)
+}
+
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= 16 {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// Call sends req and waits for the response. A connection-level failure is
+// retried once on a fresh connection (the previous socket may have been
+// idle-closed by the peer); a second failure is returned to the caller,
+// which for an HVAC client triggers PFS fallback.
+func (c *Client) Call(req *Request) (*Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := c.getConn()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if err := WriteRequest(conn, req); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		resp, err := ReadResponse(conn)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		c.putConn(conn)
+		return resp, nil
+	}
+	return nil, fmt.Errorf("transport: call %s failed: %w", c.addr, lastErr)
+}
+
+// Ping round-trips an OpPing, reporting reachability.
+func (c *Client) Ping() error {
+	resp, err := c.Call(&Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// Close releases pooled connections. In-flight calls may fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}

@@ -1,0 +1,175 @@
+// Package vfs defines the simulated file-system interface shared by every
+// storage backend in the simulated substrate (GPFS, XFS-on-NVMe, and the
+// HVAC cache), plus the Namespace type that holds a dataset's file
+// metadata (path -> size).
+//
+// The interface mirrors the POSIX transaction the paper's workloads
+// perform — <open, read, close> (§II-C) — in blocking style against
+// virtual time.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hvac/internal/sim"
+)
+
+// Handle identifies an open file within one FS instance.
+type Handle int64
+
+// ErrNotExist is returned when opening a path absent from the namespace.
+var ErrNotExist = errors.New("vfs: file does not exist")
+
+// ErrBadHandle is returned for operations on unknown or closed handles.
+var ErrBadHandle = errors.New("vfs: bad file handle")
+
+// FS is a simulated file system. All calls consume virtual time on p.
+type FS interface {
+	// Open opens path and returns a handle and the file size.
+	Open(p *sim.Proc, path string) (Handle, int64, error)
+	// ReadAt reads n bytes at offset off, returning the bytes actually
+	// read (short at EOF).
+	ReadAt(p *sim.Proc, h Handle, off, n int64) (int64, error)
+	// Close releases the handle.
+	Close(p *sim.Proc, h Handle) error
+	// Name identifies the backend in reports ("gpfs", "xfs-nvme", "hvac").
+	Name() string
+}
+
+// ReadFile performs the full <open, read-all, close> transaction that DL
+// data loaders issue per sample file (§III-F observed exactly this
+// pattern), returning the file size.
+func ReadFile(p *sim.Proc, fs FS, path string) (int64, error) {
+	h, size, err := fs.Open(p, path)
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	const chunk = 16 << 20 // profiled ResNet50 issued single 16MB reads
+	for off < size {
+		n := size - off
+		if n > chunk {
+			n = chunk
+		}
+		got, err := fs.ReadAt(p, h, off, n)
+		if err != nil {
+			_ = fs.Close(p, h)
+			return off, err
+		}
+		off += got
+		if got == 0 {
+			break
+		}
+	}
+	if err := fs.Close(p, h); err != nil {
+		return off, err
+	}
+	return off, nil
+}
+
+// Namespace is an immutable-ish set of files with sizes, the simulated
+// equivalent of a dataset directory tree on the PFS.
+type Namespace struct {
+	sizes map[string]int64
+	paths []string // sorted cache; nil when dirty
+	total int64
+}
+
+// NewNamespace returns an empty namespace.
+func NewNamespace() *Namespace {
+	return &Namespace{sizes: make(map[string]int64)}
+}
+
+// Add inserts or replaces a file.
+func (ns *Namespace) Add(path string, size int64) {
+	if old, ok := ns.sizes[path]; ok {
+		ns.total -= old
+	} else {
+		ns.paths = nil
+	}
+	ns.sizes[path] = size
+	ns.total += size
+}
+
+// Lookup returns the size of path.
+func (ns *Namespace) Lookup(path string) (int64, bool) {
+	s, ok := ns.sizes[path]
+	return s, ok
+}
+
+// Len reports the number of files.
+func (ns *Namespace) Len() int { return len(ns.sizes) }
+
+// TotalBytes reports the sum of all file sizes.
+func (ns *Namespace) TotalBytes() int64 { return ns.total }
+
+// Paths returns all paths in sorted (deterministic) order. The returned
+// slice is shared; callers must not modify it.
+func (ns *Namespace) Paths() []string {
+	if ns.paths == nil {
+		ns.paths = make([]string, 0, len(ns.sizes))
+		for p := range ns.sizes {
+			ns.paths = append(ns.paths, p)
+		}
+		sort.Strings(ns.paths)
+	}
+	return ns.paths
+}
+
+// HandleTable tracks open handles for an FS implementation.
+type HandleTable struct {
+	next Handle
+	open map[Handle]openFile
+}
+
+type openFile struct {
+	path string
+	size int64
+}
+
+// NewHandleTable returns an empty table.
+func NewHandleTable() *HandleTable {
+	return &HandleTable{open: make(map[Handle]openFile)}
+}
+
+// Open allocates a handle for path/size.
+func (t *HandleTable) Open(path string, size int64) Handle {
+	t.next++
+	t.open[t.next] = openFile{path: path, size: size}
+	return t.next
+}
+
+// Get returns the path and size for h.
+func (t *HandleTable) Get(h Handle) (path string, size int64, err error) {
+	f, ok := t.open[h]
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	return f.path, f.size, nil
+}
+
+// Close releases h.
+func (t *HandleTable) Close(h Handle) error {
+	if _, ok := t.open[h]; !ok {
+		return fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	delete(t.open, h)
+	return nil
+}
+
+// OpenCount reports the number of live handles.
+func (t *HandleTable) OpenCount() int { return len(t.open) }
+
+// ClampRead bounds a read request to the file size, returning the byte
+// count actually transferred.
+func ClampRead(size, off, n int64) int64 {
+	if off >= size || n <= 0 {
+		return 0
+	}
+	if off+n > size {
+		return size - off
+	}
+	return n
+}

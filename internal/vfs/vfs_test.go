@@ -1,0 +1,164 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hvac/internal/sim"
+)
+
+func TestNamespace(t *testing.T) {
+	ns := NewNamespace()
+	ns.Add("/d/a", 100)
+	ns.Add("/d/b", 200)
+	if ns.Len() != 2 || ns.TotalBytes() != 300 {
+		t.Fatalf("len/total = %d/%d", ns.Len(), ns.TotalBytes())
+	}
+	ns.Add("/d/a", 150) // replace
+	if ns.Len() != 2 || ns.TotalBytes() != 350 {
+		t.Fatalf("after replace: len/total = %d/%d", ns.Len(), ns.TotalBytes())
+	}
+	if s, ok := ns.Lookup("/d/a"); !ok || s != 150 {
+		t.Fatalf("lookup = %d,%v", s, ok)
+	}
+	if _, ok := ns.Lookup("/missing"); ok {
+		t.Fatal("missing path found")
+	}
+	paths := ns.Paths()
+	if !sort.StringsAreSorted(paths) {
+		t.Fatalf("paths not sorted: %v", paths)
+	}
+}
+
+func TestNamespacePathsCacheInvalidation(t *testing.T) {
+	ns := NewNamespace()
+	ns.Add("/a", 1)
+	_ = ns.Paths()
+	ns.Add("/b", 1)
+	if got := len(ns.Paths()); got != 2 {
+		t.Fatalf("paths after add = %d, want 2", got)
+	}
+}
+
+func TestHandleTable(t *testing.T) {
+	ht := NewHandleTable()
+	h1 := ht.Open("/a", 10)
+	h2 := ht.Open("/b", 20)
+	if h1 == h2 {
+		t.Fatal("duplicate handles")
+	}
+	if p, s, err := ht.Get(h2); err != nil || p != "/b" || s != 20 {
+		t.Fatalf("get = %q,%d,%v", p, s, err)
+	}
+	if err := ht.Close(h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Close(h1); err == nil {
+		t.Fatal("double close should fail")
+	}
+	if _, _, err := ht.Get(h1); err == nil {
+		t.Fatal("get after close should fail")
+	}
+	if ht.OpenCount() != 1 {
+		t.Fatalf("open count = %d, want 1", ht.OpenCount())
+	}
+}
+
+func TestClampRead(t *testing.T) {
+	cases := []struct{ size, off, n, want int64 }{
+		{100, 0, 50, 50},
+		{100, 50, 100, 50},
+		{100, 100, 10, 0},
+		{100, 150, 10, 0},
+		{100, 0, 0, 0},
+		{100, 10, -5, 0},
+		{0, 0, 10, 0},
+	}
+	for _, c := range cases {
+		if got := ClampRead(c.size, c.off, c.n); got != c.want {
+			t.Fatalf("ClampRead(%d,%d,%d) = %d, want %d", c.size, c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestClampReadProperty(t *testing.T) {
+	f := func(size, off, n int64) bool {
+		size &= 1<<40 - 1
+		off &= 1<<40 - 1
+		n &= 1<<40 - 1
+		got := ClampRead(size, off, n)
+		if got < 0 || got > n {
+			return false
+		}
+		return off+got <= size || got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// memFS is a trivial in-sim FS for exercising ReadFile.
+type memFS struct {
+	ns *Namespace
+	ht *HandleTable
+}
+
+func (m *memFS) Name() string { return "mem" }
+func (m *memFS) Open(p *sim.Proc, path string) (Handle, int64, error) {
+	size, ok := m.ns.Lookup(path)
+	if !ok {
+		return 0, 0, ErrNotExist
+	}
+	return m.ht.Open(path, size), size, nil
+}
+func (m *memFS) ReadAt(p *sim.Proc, h Handle, off, n int64) (int64, error) {
+	_, size, err := m.ht.Get(h)
+	if err != nil {
+		return 0, err
+	}
+	return ClampRead(size, off, n), nil
+}
+func (m *memFS) Close(p *sim.Proc, h Handle) error { return m.ht.Close(h) }
+
+func TestReadFileWholeFile(t *testing.T) {
+	ns := NewNamespace()
+	// Bigger than one 16MB chunk to exercise the loop.
+	ns.Add("/big", 40<<20)
+	ns.Add("/zero", 0)
+	m := &memFS{ns: ns, ht: NewHandleTable()}
+	eng := sim.NewEngine()
+	eng.Spawn("r", func(p *sim.Proc) {
+		n, err := ReadFile(p, m, "/big")
+		if err != nil || n != 40<<20 {
+			t.Errorf("ReadFile big = %d,%v", n, err)
+		}
+		n, err = ReadFile(p, m, "/zero")
+		if err != nil || n != 0 {
+			t.Errorf("ReadFile zero = %d,%v", n, err)
+		}
+		if _, err = ReadFile(p, m, "/nope"); err == nil {
+			t.Error("ReadFile missing should fail")
+		}
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ht.OpenCount() != 0 {
+		t.Fatalf("%d leaked handles", m.ht.OpenCount())
+	}
+}
+
+func TestNamespaceScale(t *testing.T) {
+	ns := NewNamespace()
+	for i := 0; i < 100000; i++ {
+		ns.Add(fmt.Sprintf("/data/f%07d", i), int64(i))
+	}
+	if ns.Len() != 100000 {
+		t.Fatalf("len = %d", ns.Len())
+	}
+	if len(ns.Paths()) != 100000 {
+		t.Fatal("paths incomplete")
+	}
+}

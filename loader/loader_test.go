@@ -1,0 +1,244 @@
+package loader
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hvac"
+)
+
+func memSource(t *testing.T, n int) (Source, []string) {
+	t.Helper()
+	files := map[string][]byte{}
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/data/%04d.rec", i)
+		files[paths[i]] = []byte(fmt.Sprintf("content-%d", i))
+	}
+	return func(p string) ([]byte, error) {
+		b, ok := files[p]
+		if !ok {
+			return nil, fmt.Errorf("missing %s", p)
+		}
+		return b, nil
+	}, paths
+}
+
+func TestValidation(t *testing.T) {
+	src, paths := memSource(t, 4)
+	if _, err := New(nil, Config{Paths: paths}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := New(src, Config{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := New(src, Config{Paths: paths, Rank: 2, World: 2}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestEpochVisitsEveryFileOnce(t *testing.T) {
+	src, paths := memSource(t, 97)
+	l, err := New(src, Config{Paths: paths, BatchSize: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	err = l.Epoch(0, func(b Batch) error {
+		for i, p := range b.Paths {
+			seen[p]++
+			if !bytes.Contains(b.Data[i], []byte("content-")) {
+				return fmt.Errorf("bad data for %s", p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 97 {
+		t.Fatalf("visited %d files, want 97", len(seen))
+	}
+	for p, c := range seen {
+		if c != 1 {
+			t.Fatalf("%s visited %d times", p, c)
+		}
+	}
+}
+
+func TestShardingPartitionsDataset(t *testing.T) {
+	src, paths := memSource(t, 100)
+	var all []string
+	for rank := 0; rank < 4; rank++ {
+		l, err := New(src, Config{Paths: paths, BatchSize: 8, Seed: 5, Rank: rank, World: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, l.EpochOrder(2)...)
+	}
+	sort.Strings(all)
+	want := append([]string(nil), paths...)
+	sort.Strings(want)
+	if len(all) != len(want) {
+		t.Fatalf("shards cover %d files, want %d", len(all), len(want))
+	}
+	for i := range all {
+		if all[i] != want[i] {
+			t.Fatalf("shards are not a partition at %d", i)
+		}
+	}
+}
+
+func TestDeterministicAndEpochVarying(t *testing.T) {
+	src, paths := memSource(t, 200)
+	l1, _ := New(src, Config{Paths: paths, Seed: 9})
+	l2, _ := New(src, Config{Paths: paths, Seed: 9})
+	a, b := l1.EpochOrder(0), l2.EpochOrder(0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed+epoch diverged")
+		}
+	}
+	c := l1.EpochOrder(1)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("epochs 0 and 1 share %d/200 positions", same)
+	}
+}
+
+func TestDropLastAndBatchCount(t *testing.T) {
+	src, paths := memSource(t, 25)
+	keep, _ := New(src, Config{Paths: paths, BatchSize: 10, Seed: 1})
+	drop, _ := New(src, Config{Paths: paths, BatchSize: 10, Seed: 1, DropLast: true})
+	if keep.BatchesPerEpoch() != 3 || drop.BatchesPerEpoch() != 2 {
+		t.Fatalf("batches = %d/%d, want 3/2", keep.BatchesPerEpoch(), drop.BatchesPerEpoch())
+	}
+	count := func(l *Loader) (batches, samples int) {
+		l.Epoch(0, func(b Batch) error {
+			batches++
+			samples += len(b.Paths)
+			return nil
+		})
+		return
+	}
+	if b, s := count(keep); b != 3 || s != 25 {
+		t.Fatalf("keep: %d batches, %d samples", b, s)
+	}
+	if b, s := count(drop); b != 2 || s != 20 {
+		t.Fatalf("drop: %d batches, %d samples", b, s)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	src, paths := memSource(t, 10)
+	failing := func(p string) ([]byte, error) {
+		if p == paths[3] {
+			return nil, errors.New("injected")
+		}
+		return src(p)
+	}
+	l, _ := New(failing, Config{Paths: paths, BatchSize: 10, Workers: 4, Seed: 2})
+	if err := l.Epoch(0, func(Batch) error { return nil }); err == nil {
+		t.Fatal("fetch error swallowed")
+	}
+	l2, _ := New(src, Config{Paths: paths, BatchSize: 5, Seed: 2})
+	sentinel := errors.New("stop")
+	if err := l2.Epoch(0, func(Batch) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error = %v", err)
+	}
+}
+
+// Property: for any world size, batch size and seed, sharded epochs form
+// an exact partition of the dataset.
+func TestPartitionProperty(t *testing.T) {
+	src, paths := memSource(t, 64)
+	f := func(seed uint64, worldRaw, bsRaw uint8) bool {
+		world := int(worldRaw%8) + 1
+		bs := int(bsRaw%16) + 1
+		counts := map[string]int{}
+		for rank := 0; rank < world; rank++ {
+			l, err := New(src, Config{Paths: paths, BatchSize: bs, Seed: seed, Rank: rank, World: world})
+			if err != nil {
+				return false
+			}
+			for _, p := range l.EpochOrder(0) {
+				counts[p]++
+			}
+		}
+		if len(counts) != len(paths) {
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThroughHVAC drives the loader through a live HVAC deployment: the
+// paper's full client stack under the DL access pattern.
+func TestThroughHVAC(t *testing.T) {
+	work := t.TempDir()
+	pfsDir := filepath.Join(work, "pfs")
+	os.MkdirAll(pfsDir, 0o755)
+	paths := make([]string, 30)
+	for i := range paths {
+		paths[i] = filepath.Join(pfsDir, fmt.Sprintf("s%03d.rec", i))
+		os.WriteFile(paths[i], bytes.Repeat([]byte{byte(i)}, 256), 0o644)
+	}
+	srv, err := hvac.StartServer(hvac.ServerConfig{
+		ListenAddr: "127.0.0.1:0", PFSDir: pfsDir,
+		CacheDir: filepath.Join(work, "cache"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := hvac.NewClient(hvac.ClientConfig{Servers: []string{srv.Addr()}, DatasetDir: pfsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	l, err := New(cli.ReadAll, Config{Paths: paths, BatchSize: 7, Workers: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		samples := 0
+		err := l.Epoch(e, func(b Batch) error {
+			for i := range b.Paths {
+				if len(b.Data[i]) != 256 {
+					return fmt.Errorf("short sample %s", b.Paths[i])
+				}
+				samples++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if samples != 30 {
+			t.Fatalf("epoch %d: %d samples", e, samples)
+		}
+	}
+	if st := cli.Stats(); st.Redirected != 60 {
+		t.Fatalf("redirected = %d, want 60", st.Redirected)
+	}
+}
