@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race lint check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/hvaclint ./...
+
+# The full gate: what CI runs, and what a change must pass before review.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem

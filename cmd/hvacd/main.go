@@ -75,8 +75,8 @@ func main() {
 		go func() {
 			for range time.Tick(*stats) {
 				st := srv.Stats()
-				fmt.Printf("hvacd: opens=%d hits=%d misses=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB\n",
-					st.Opens, st.Hits, st.Misses, st.BytesServed, st.BytesFetched,
+				fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB\n",
+					st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BytesServed, st.BytesFetched,
 					st.Evictions, srv.CachedFiles(), srv.CachedBytes())
 				fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
 			}

@@ -1,0 +1,145 @@
+// Command hvaclint runs the HVAC-specific static-analysis suite
+// (internal/analysis) over the module and exits non-zero on findings.
+//
+// Usage:
+//
+//	hvaclint [-list] [packages]
+//
+// With no arguments or the pattern "./...", every package of the module
+// is analysed. Other arguments name package directories relative to the
+// working directory. Findings print as
+//
+//	file:line:col: [rule] message
+//
+// and can be suppressed per line with //hvaclint:ignore <rule> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hvac/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args(), analyzers); err != nil {
+		fmt.Fprintln(os.Stderr, "hvaclint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, analyzers []*analysis.Analyzer) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	paths, err := selectPackages(l, root, args)
+	if err != nil {
+		return err
+	}
+	findings := 0
+	for _, ip := range paths {
+		pkg, err := l.Load(ip)
+		if err != nil {
+			return err
+		}
+		for _, d := range analysis.Run(pkg, analyzers) {
+			pos := d.Pos
+			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Rule, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Printf("hvaclint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// selectPackages maps the command-line patterns onto module import
+// paths.
+func selectPackages(l *analysis.Loader, root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return l.Packages(), nil
+	}
+	var out []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return l.Packages(), nil
+		}
+		if strings.HasSuffix(arg, "/...") {
+			prefix, err := argImportPath(l, root, strings.TrimSuffix(arg, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			for _, ip := range l.Packages() {
+				if ip == prefix || strings.HasPrefix(ip, prefix+"/") {
+					out = append(out, ip)
+				}
+			}
+			continue
+		}
+		ip, err := argImportPath(l, root, arg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ip)
+	}
+	return out, nil
+}
+
+// argImportPath resolves one directory argument to an import path.
+func argImportPath(l *analysis.Loader, root, arg string) (string, error) {
+	if strings.HasPrefix(arg, l.ModulePath()) {
+		return arg, nil
+	}
+	abs, err := filepath.Abs(arg)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("package %s is outside the module", arg)
+	}
+	if rel == "." {
+		return l.ModulePath(), nil
+	}
+	return l.ModulePath() + "/" + filepath.ToSlash(rel), nil
+}

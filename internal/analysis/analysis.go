@@ -1,0 +1,176 @@
+// Package analysis is hvaclint: a project-specific static-analysis
+// framework for the HVAC code base, built only on the standard library's
+// go/ast, go/parser and go/types.
+//
+// HVAC's correctness rests on invariants the Go compiler cannot check:
+// the simulation kernel promises bit-for-bit reproducible runs, the
+// client must never silently bypass the cache and hit the PFS outside
+// its designated fallback sites, and the real-mode server and transport
+// are heavily concurrent. Each Analyzer here pins one of those
+// invariants down mechanically; cmd/hvaclint runs them all over the
+// module and fails the build on findings.
+//
+// Findings can be suppressed per line with a reasoned comment:
+//
+//	//hvaclint:ignore <rule> <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// above it. A suppression without a reason is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the finding (file, line, column).
+	Pos token.Position
+	// Rule is the reporting analyzer's name.
+	Rule string
+	// Message describes the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// An Analyzer checks one invariant over one package.
+type Analyzer struct {
+	// Name is the rule name used in output and suppression comments.
+	Name string
+	// Doc is a one-line description of the protected invariant.
+	Doc string
+	// Run inspects the pass's package and reports findings via
+	// Pass.Report.
+	Run func(*Pass)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	*Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the base name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// Analyzers returns the full hvaclint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SimDeterminism,
+		PFSBypass,
+		LockSafe,
+		ErrDrop,
+	}
+}
+
+// Run applies the analyzers to pkg, resolves suppression comments, and
+// returns the surviving diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Package: pkg, analyzer: a, diags: &diags}
+		a.Run(pass)
+	}
+	diags = applySuppressions(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// suppression is one parsed //hvaclint:ignore comment.
+type suppression struct {
+	rule   string
+	reason string
+	pos    token.Position
+}
+
+const ignorePrefix = "//hvaclint:ignore"
+
+// parseSuppressions collects the //hvaclint:ignore comments of a file,
+// keyed by the line they apply to: their own line, which covers a
+// trailing comment, plus the following line for a standalone comment.
+func parseSuppressions(pkg *Package, f *ast.File) (map[string][]suppression, []Diagnostic) {
+	byKey := make(map[string][]suppression)
+	var malformed []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			rule, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if rule == "" || reason == "" {
+				malformed = append(malformed, Diagnostic{
+					Pos:     pos,
+					Rule:    "suppress",
+					Message: "malformed suppression: want //hvaclint:ignore <rule> <reason>",
+				})
+				continue
+			}
+			s := suppression{rule: rule, reason: reason, pos: pos}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := fmt.Sprintf("%s:%d", pos.Filename, line)
+				byKey[key] = append(byKey[key], s)
+			}
+		}
+	}
+	return byKey, malformed
+}
+
+// applySuppressions drops diagnostics covered by a reasoned
+// //hvaclint:ignore comment and appends diagnostics for malformed ones.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	byKey := make(map[string][]suppression)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		m, malformed := parseSuppressions(pkg, f)
+		for k, v := range m {
+			byKey[k] = append(byKey[k], v...)
+		}
+		out = append(out, malformed...)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		suppressed := false
+		for _, s := range byKey[key] {
+			if s.rule == d.Rule {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

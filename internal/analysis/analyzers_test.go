@@ -1,0 +1,23 @@
+package analysis
+
+import "testing"
+
+// The fixture packages are loaded under the import paths of the real
+// packages they stand in for, so each analyzer's scoping rules apply
+// exactly as they do in production.
+
+func TestSimDeterminismFixtures(t *testing.T) {
+	fixtureTest(t, SimDeterminism, "simdet", "hvac/internal/sim")
+}
+
+func TestPFSBypassFixtures(t *testing.T) {
+	fixtureTest(t, PFSBypass, "pfsfix", "hvac/internal/core")
+}
+
+func TestLockSafeFixtures(t *testing.T) {
+	fixtureTest(t, LockSafe, "lockfix", "hvac/internal/lockfix")
+}
+
+func TestErrDropFixtures(t *testing.T) {
+	fixtureTest(t, ErrDrop, "errfix", "hvac/internal/errfix")
+}

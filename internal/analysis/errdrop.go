@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errCheckedPkgs are the packages whose error returns must not be
+// silently dropped: OS and network I/O plus HVAC's own transport, cache
+// store and client layers. A write that fails in these layers corrupts
+// the cache or loses data; a read that fails must surface to trigger the
+// PFS fallback.
+var errCheckedPkgs = map[string]bool{
+	"os":                       true,
+	"io":                       true,
+	"net":                      true,
+	"bufio":                    true,
+	"hvac/internal/transport":  true,
+	"hvac/internal/cachestore": true,
+	"hvac/internal/core":       true,
+	"hvac/internal/localfs":    true,
+	"hvac/internal/vfs":        true,
+}
+
+// ErrDrop flags expression statements that call an I/O, transport,
+// cache-store or client function returning an error and ignore the
+// result. Deferred and go statements are exempt (deferred Close on a
+// read-only file is the established idiom); an explicit `_ =` assignment
+// documents intent and is likewise accepted.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error results from I/O, transport and cachestore calls",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || !errCheckedPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if !lastResultIsError(fn) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error result of %s.%s is discarded; handle it or assign to _ to document intent",
+				fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+}
+
+// lastResultIsError reports whether fn's final result is of type error.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

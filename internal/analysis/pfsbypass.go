@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// directFSFuncs are the os functions that reach the file system
+// directly, bypassing the HVAC cache when called from interception code.
+var directFSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true,
+	"ReadFile": true, "WriteFile": true,
+	"Stat": true, "Lstat": true, "ReadDir": true,
+}
+
+// fallbackMarker annotates an intentional direct-PFS site in client
+// code: the passthrough path for files outside the dataset directory and
+// the §III-H fallback paths taken after server failure.
+const fallbackMarker = "//hvac:pfs-fallback"
+
+// PFSBypass enforces the cache-transparency invariant of §III-C: the
+// client/interception layer (internal/core's client files and the
+// hvac/loader package) must never reach the PFS directly except at sites
+// annotated with a reasoned //hvac:pfs-fallback comment.
+var PFSBypass = &Analyzer{
+	Name: "pfsbypass",
+	Doc:  "flag direct os file access in client/interception code outside annotated PFS-fallback sites",
+	Run:  runPFSBypass,
+}
+
+// pfsClientFile reports whether the file is part of the interception
+// layer whose reads must stay inside the cache protocol.
+func pfsClientFile(p *Pass, file *ast.File) bool {
+	if p.ImportPath == "hvac/loader" {
+		return true
+	}
+	if p.ImportPath == "hvac/internal/core" {
+		return strings.HasPrefix(p.Filename(file.Pos()), "client")
+	}
+	return false
+}
+
+func runPFSBypass(p *Pass) {
+	for _, f := range p.Files {
+		if !pfsClientFile(p, f) {
+			continue
+		}
+		annotated := fallbackLines(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !directFSFuncs[fn.Name()] {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			line := p.Fset.Position(call.Pos()).Line
+			if annotated[line] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"os.%s bypasses the HVAC cache in client code; route through the server protocol or annotate the site with %s <reason>",
+				fn.Name(), fallbackMarker)
+			return true
+		})
+	}
+}
+
+// fallbackLines collects the lines covered by //hvac:pfs-fallback
+// comments: the comment's own line and the one below it, so the marker
+// works trailing or standalone. A marker without a reason covers
+// nothing — the justification is the point of the annotation.
+func fallbackLines(p *Pass, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, fallbackMarker)
+			if !ok || strings.TrimSpace(rest) == "" {
+				continue
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}

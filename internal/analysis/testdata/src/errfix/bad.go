@@ -1,0 +1,22 @@
+package errfix
+
+import (
+	"os"
+
+	"hvac/internal/transport"
+)
+
+// cleanup drops the Remove error: a failed cleanup goes unnoticed.
+func cleanup(dir string) {
+	os.Remove(dir) // want "error result of os.Remove is discarded"
+}
+
+// closeFile drops a Close error outside a defer.
+func closeFile(f *os.File) {
+	f.Close() // want "error result of os.Close is discarded"
+}
+
+// ping drops a transport error: the module's own packages are covered.
+func ping(addr string) {
+	transport.Dial(addr).Ping() // want "error result of transport.Ping is discarded"
+}

@@ -1,0 +1,27 @@
+package errfix
+
+import (
+	"fmt"
+	"os"
+)
+
+// remove handles the error.
+func remove(dir string) error {
+	if err := os.Remove(dir); err != nil {
+		return fmt.Errorf("cleanup: %w", err)
+	}
+	return nil
+}
+
+// bestEffort documents the discard explicitly.
+func bestEffort(f *os.File) {
+	_ = f.Close()
+}
+
+// deferred close on a read-only file is the accepted idiom and exempt.
+func deferred(f *os.File) error {
+	defer f.Close()
+	var buf [8]byte
+	_, err := f.Read(buf[:])
+	return err
+}

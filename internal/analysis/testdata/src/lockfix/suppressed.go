@@ -1,0 +1,16 @@
+package lockfix
+
+import "sync"
+
+type pipeline struct {
+	mu sync.Mutex
+}
+
+// lockForCaller transfers lock ownership to the caller through the
+// returned release function — a pattern the path analysis cannot see,
+// recorded with a reasoned suppression.
+func (p *pipeline) lockForCaller() func() {
+	p.mu.Lock()
+	//hvaclint:ignore locksafe ownership transfers to the returned release closure; the caller must invoke it
+	return p.mu.Unlock
+}

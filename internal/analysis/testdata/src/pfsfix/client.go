@@ -1,0 +1,32 @@
+package pfsfix
+
+import "os"
+
+// openDirect bypasses the cache with no annotation: the core violation.
+func openDirect(path string) (*os.File, error) {
+	return os.Open(path) // want "os.Open bypasses the HVAC cache"
+}
+
+// readDirect shows the whole os read family is covered.
+func readDirect(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "os.ReadFile bypasses the HVAC cache"
+}
+
+// openFallback is a designated fallback site: the trailing annotation
+// with a reason silences the analyzer.
+func openFallback(path string) (*os.File, error) {
+	return os.Open(path) //hvac:pfs-fallback fixture: designated fallback site with a reason
+}
+
+// statAnnotatedAbove shows the standalone form of the annotation.
+func statAnnotatedAbove(path string) (os.FileInfo, error) {
+	//hvac:pfs-fallback fixture: standalone annotation covers the next line
+	return os.Stat(path)
+}
+
+// statBareMarker shows that a marker without a reason covers nothing:
+// the justification is the point of the annotation.
+func statBareMarker(path string) (os.FileInfo, error) {
+	//hvac:pfs-fallback
+	return os.Stat(path) // want "os.Stat bypasses the HVAC cache"
+}

@@ -1,0 +1,28 @@
+package simdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Events stands in for the sim kernel's event queue: anything pushed
+// here in nondeterministic order breaks bit-for-bit replay.
+type Events struct{ at []time.Duration }
+
+func (e *Events) push(d time.Duration) { e.at = append(e.at, d) }
+
+func wallClock(e *Events) {
+	e.push(time.Duration(time.Now().UnixNano())) // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)                 // want "time.Sleep reads the wall clock"
+	e.push(time.Since(time.Unix(0, 0)))          // want "time.Since reads the wall clock"
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want "math/rand.Intn uses the process-global random source"
+}
+
+func drainUnordered(e *Events, pending map[string]time.Duration) {
+	for _, d := range pending { // want "iteration over map pending is unordered"
+		e.push(d)
+	}
+}

@@ -1,0 +1,33 @@
+package simdet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seeded uses an explicitly seeded generator: deterministic, allowed.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// durations only name time types; no wall-clock call is made.
+func durations(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}
+
+// drainSorted is the canonical rewrite: the key-collection range is
+// order-insensitive and the event-feeding loop runs over sorted keys.
+func drainSorted(e *Events, pending map[string]time.Duration) {
+	keys := make([]string, 0, len(pending))
+	n := 0
+	for k := range pending {
+		keys = append(keys, k)
+		n++
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.push(pending[k])
+	}
+}

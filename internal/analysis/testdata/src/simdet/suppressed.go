@@ -1,0 +1,15 @@
+package simdet
+
+import "time"
+
+// total sums map values: commutative, so iteration order cannot leak,
+// but the body is richer than key collection and the analyzer cannot
+// prove it. A reasoned suppression records the argument.
+func total(samples map[string]time.Duration) time.Duration {
+	var sum time.Duration
+	//hvaclint:ignore simdeterminism summation is commutative so iteration order cannot reach the event queue
+	for _, d := range samples {
+		sum += d
+	}
+	return sum
+}

@@ -133,7 +133,9 @@ func (l *LPCC) scheduleFill(path string, size int64) {
 		defer delete(l.filling, path)
 		p.Sleep(l.costs.FillOverhead)
 		l.dev.Write(p, size)
-		l.index.Insert(path, size)
+		if _, err := l.index.Insert(path, size); err != nil {
+			return // file exceeds cache capacity: it simply stays uncached
+		}
 	})
 }
 

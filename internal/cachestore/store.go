@@ -59,7 +59,7 @@ func (s *Store) Put(key string, size int64, src io.Reader) error {
 		return err
 	}
 	for _, victim := range evicted {
-		os.Remove(s.pathFor(victim))
+		_ = os.Remove(s.pathFor(victim)) // eviction is best-effort; the index entry is already gone
 	}
 	// Hold our entry in the index while writing; pin it so a concurrent
 	// insert cannot evict the file mid-write.
@@ -89,7 +89,7 @@ func (s *Store) Put(key string, size int64, src io.Reader) error {
 		err = os.Rename(tmp.Name(), dst)
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // the copy failure is the error to report
 		s.dropEntry(key)
 		return err
 	}

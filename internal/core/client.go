@@ -138,7 +138,7 @@ func (c *Client) Open(path string) (*File, error) {
 		return nil, err
 	}
 	if !c.Intercepts(abs) {
-		f, err := os.Open(abs)
+		f, err := os.Open(abs) //hvac:pfs-fallback passthrough: path is outside the dataset dir, so the §III-C contract does not redirect it
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +173,7 @@ func (c *Client) Open(path string) (*File, error) {
 	if c.cfg.DisableFallback {
 		return nil, fmt.Errorf("hvac client: open %s: %w", abs, lastErr)
 	}
-	f, err := os.Open(abs)
+	f, err := os.Open(abs) //hvac:pfs-fallback designated open fallback: every replica failed (§III-H)
 	if err != nil {
 		return nil, fmt.Errorf("hvac client: open %s: server(s) failed (%v) and PFS fallback failed: %w", abs, lastErr, err)
 	}
@@ -207,7 +207,7 @@ func (c *Client) openSegmented(abs string) (*File, error) {
 	if c.cfg.DisableFallback {
 		return nil, fmt.Errorf("hvac client: open %s: %w", abs, err)
 	}
-	f, ferr := os.Open(abs)
+	f, ferr := os.Open(abs) //hvac:pfs-fallback designated open fallback: segment-0 home server failed (§III-H)
 	if ferr != nil {
 		return nil, fmt.Errorf("hvac client: open %s: server failed (%v) and PFS fallback failed: %w", abs, err, ferr)
 	}
@@ -336,7 +336,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 func (f *File) degradeToPFS(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	if f.fallback == nil {
-		pf, err := os.Open(f.path)
+		pf, err := os.Open(f.path) //hvac:pfs-fallback designated mid-read fallback: the serving server died with the handle open (§III-H)
 		if err != nil {
 			f.mu.Unlock()
 			return 0, err

@@ -291,21 +291,21 @@ func (c *SimClient) Close(p *sim.Proc, h vfs.Handle) error {
 	}
 	if seg := c.hSeg[h]; seg {
 		delete(c.hSeg, h)
-		c.handles.Close(h)
+		_ = c.handles.Close(h) // cannot fail: Get(h) above validated the handle
 		p.Sleep(c.costs.ClientOverhead)
 		_ = path
 		return nil // stateless: no server-side handle
 	}
 	if fh, ok := c.hFall[h]; ok {
 		delete(c.hFall, h)
-		c.handles.Close(h)
+		_ = c.handles.Close(h) // cannot fail: Get(h) above validated the handle
 		return c.gpfsC.Close(p, fh)
 	}
 	srv := c.hServer[h]
 	cached := c.hCached[h]
 	delete(c.hServer, h)
 	delete(c.hCached, h)
-	c.handles.Close(h)
+	_ = c.handles.Close(h) // cannot fail: Get(h) above validated the handle
 	p.Sleep(c.costs.ClientOverhead)
 	c.rpc(p, srv)
 	if err := srv.close(p, path, cached); err != nil && err != errServerFailed {

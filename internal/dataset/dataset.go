@@ -215,7 +215,7 @@ func (s Spec) Materialize(dir string, maxBytes int64) ([]string, error) {
 				n = remaining
 			}
 			if _, err := f.Write(buf[:n]); err != nil {
-				f.Close()
+				_ = f.Close() // the write failure is the error to report
 				return paths, err
 			}
 			remaining -= n

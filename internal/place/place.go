@@ -29,6 +29,7 @@ type Policy interface {
 
 func hash64(s string) uint64 {
 	h := fnv.New64a()
+	//hvaclint:ignore errdrop hash.Hash.Write is documented never to return an error
 	h.Write([]byte(s))
 	return h.Sum64()
 }

@@ -219,3 +219,10 @@ func (e *Engine) RunAll() error { return e.Run(Time(1<<62 - 1)) }
 
 // Live reports the number of spawned processes that have not yet exited.
 func (e *Engine) Live() int { return e.spawned - e.exited }
+
+// Events reports the total number of events ever scheduled. Because every
+// event carries the sequence number at which it was scheduled, two runs of
+// the same seeded model are identical exactly when their event counts and
+// final clocks agree — the count is a cheap replay fingerprint used by the
+// determinism regression tests.
+func (e *Engine) Events() uint64 { return e.seq }

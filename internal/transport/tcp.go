@@ -49,7 +49,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing shutdown; socket is abandoned either way
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -62,7 +62,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // connection teardown is best-effort
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -95,9 +95,9 @@ func (s *Server) Close() {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	s.ln.Close()
+	_ = s.ln.Close() // shutting down: accept loop exits on the close either way
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close() // severing peers; their next I/O reports the break
 	}
 	s.wg.Wait()
 }
@@ -145,7 +145,7 @@ func (c *Client) putConn(conn net.Conn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed || len(c.idle) >= 16 {
-		conn.Close()
+		_ = conn.Close() // pool full or closed: surplus socket is discarded
 		return
 	}
 	c.idle = append(c.idle, conn)
@@ -167,13 +167,13 @@ func (c *Client) Call(req *Request) (*Response, error) {
 			continue
 		}
 		if err := WriteRequest(conn, req); err != nil {
-			conn.Close()
+			_ = conn.Close() // the write failure is the error that matters
 			lastErr = err
 			continue
 		}
 		resp, err := ReadResponse(conn)
 		if err != nil {
-			conn.Close()
+			_ = conn.Close() // the read failure is the error that matters
 			lastErr = err
 			continue
 		}
@@ -198,7 +198,7 @@ func (c *Client) Close() {
 	defer c.mu.Unlock()
 	c.closed = true
 	for _, conn := range c.idle {
-		conn.Close()
+		_ = conn.Close() // idle pool teardown is best-effort
 	}
 	c.idle = nil
 }

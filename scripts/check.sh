@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — the full verification gate: build, vet, format, hvaclint,
+# then the test suite under the race detector. CI runs exactly this; run
+# it locally before sending a change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '--- go build ./...'
+go build ./...
+
+echo '--- go vet ./...'
+go vet ./...
+
+echo '--- gofmt -l .'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo '--- go run ./cmd/hvaclint ./...'
+go run ./cmd/hvaclint ./...
+
+echo '--- go test -race ./...'
+go test -race ./...
+
+echo 'check: OK'
