@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench
+.PHONY: build test race lint check chaos bench
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ lint:
 # The full gate: what CI runs, and what a change must pass before review.
 check:
 	./scripts/check.sh
+
+# The chaos tier: seeded fault schedules over real TCP clusters, under the
+# race detector with shuffled test order (DESIGN.md §7).
+chaos:
+	$(GO) test -race -shuffle=on -v -run Chaos ./internal/core
+	$(GO) test -race -shuffle=on -v ./internal/faultnet ./internal/testutil
+	$(GO) test -race -shuffle=on -v -run 'Retry|Call|TimedOut|Truncated' ./internal/transport
 
 bench:
 	$(GO) test -bench=. -benchmem

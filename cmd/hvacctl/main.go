@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hvac"
 	"hvac/internal/transport"
@@ -33,6 +34,8 @@ func main() {
 	var (
 		servers = flag.String("servers", "", "comma-separated hvacd addresses (required)")
 		dataset = flag.String("dataset", "", "dataset dir for prefetch/home (default: inferred from first path)")
+		callTO  = flag.Duration("call-timeout", 5*time.Second, "per-RPC deadline; a hung server fails the call instead of hanging hvacctl (0 = transport default, negative = disabled)")
+		retries = flag.Int("retries", 0, "per-RPC attempt budget, first try included (0 = transport default)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -43,12 +46,16 @@ func main() {
 	addrs := strings.Split(*servers, ",")
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
+	opts := transport.ClientOptions{
+		CallTimeout: *callTO,
+		Retry:       transport.RetryPolicy{MaxAttempts: *retries},
+	}
 
 	switch cmd {
 	case "ping":
 		bad := 0
 		for _, addr := range addrs {
-			cli := transport.Dial(addr)
+			cli := transport.DialWith(addr, opts)
 			err := cli.Ping()
 			cli.Close()
 			if err != nil {
@@ -75,7 +82,12 @@ func main() {
 				dir = dir[:i]
 			}
 		}
-		cli, err := hvac.NewClient(hvac.ClientConfig{Servers: addrs, DatasetDir: dir})
+		cli, err := hvac.NewClient(hvac.ClientConfig{
+			Servers:       addrs,
+			DatasetDir:    dir,
+			CallTimeout:   *callTO,
+			RetryAttempts: *retries,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hvacctl: %v\n", err)
 			os.Exit(1)
@@ -88,7 +100,7 @@ func main() {
 			}
 		case "stat":
 			for _, p := range args {
-				c := transport.Dial(addrs[cli.Home(p)])
+				c := transport.DialWith(addrs[cli.Home(p)], opts)
 				resp, err := c.Call(&transport.Request{Op: transport.OpStat, Path: p})
 				c.Close()
 				if err != nil || !resp.OK() {

@@ -33,6 +33,7 @@ func main() {
 		evict    = flag.String("evict", "random", "eviction policy: random|lru|fifo|clock")
 		seed     = flag.Uint64("seed", 0, "seed for random eviction")
 		stats    = flag.Duration("stats", 0, "print stats every interval (0 = off)")
+		writeTO  = flag.Duration("write-timeout", 0, "per-response write deadline so dead clients cannot pin connections (0 = transport default, negative = disabled)")
 	)
 	flag.Parse()
 	if *pfsDir == "" || *cacheDir == "" {
@@ -63,6 +64,7 @@ func main() {
 		CacheCapacity: *capacity,
 		Policy:        policy,
 		Movers:        *movers,
+		WriteTimeout:  *writeTO,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hvacd: %v\n", err)

@@ -43,6 +43,7 @@ import (
 	"hvac/internal/place"
 	"hvac/internal/sim"
 	"hvac/internal/summit"
+	"hvac/internal/transport"
 	"hvac/internal/vfs"
 )
 
@@ -62,6 +63,9 @@ type (
 	ClientStats = core.ClientStats
 	// File is a read-only handle served by HVAC (or PFS fallback).
 	File = core.File
+	// Transport is one client->server link; ClientConfig.DialTransport
+	// lets callers decorate it (the fault-injection harness does).
+	Transport = transport.Transport
 )
 
 // StartServer launches an HVAC server instance (one data-mover per

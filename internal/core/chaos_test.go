@@ -1,0 +1,384 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hvac/internal/faultnet"
+	"hvac/internal/place"
+	"hvac/internal/testutil"
+	"hvac/internal/transport"
+)
+
+// The chaos tier: real TCP client/server clusters driven under seeded
+// fault schedules (internal/faultnet), asserting the §III-H resilience
+// invariants the paper claims but the hand-rolled failure tests barely
+// touch:
+//
+//  1. every successful read is byte-identical to the PFS copy;
+//  2. the accounting identity holds — client side, every open lands in
+//     exactly one of Redirected (which includes Failovers) or Fallbacks;
+//     server side, every served open/segment-read is exactly one of
+//     Hit or ReadThrough;
+//  3. teardown leaks no goroutines;
+//  4. with DisableFallback, the error chain names the failing server.
+//
+// Each schedule is seeded, so a failing run replays bit-for-bit.
+
+// chaosCase is one cell of the schedule matrix.
+type chaosCase struct {
+	name     string
+	servers  int
+	files    int
+	size     int
+	epochs   int
+	replicas int
+	segSize  int64
+	sched    faultnet.Schedule
+}
+
+// chaosMatrix is the full fault-schedule matrix `make chaos` runs; the
+// check gate runs it too (small files keep it cheap).
+func chaosMatrix() []chaosCase {
+	return []chaosCase{
+		{
+			name: "refuse-one-server", servers: 3, files: 18, size: 1024, epochs: 2,
+			sched: faultnet.Schedule{Seed: 1, Rules: []faultnet.Rule{
+				{Server: "srv0", Fault: faultnet.Refuse},
+			}},
+		},
+		{
+			name: "refuse-every-third-open", servers: 2, files: 12, size: 512, epochs: 2,
+			sched: faultnet.Schedule{Seed: 2, Rules: []faultnet.Rule{
+				{Op: transport.OpOpen, Every: 3, Fault: faultnet.Refuse},
+			}},
+		},
+		{
+			name: "disconnect-mid-call", servers: 2, files: 12, size: 2048, epochs: 2,
+			sched: faultnet.Schedule{Seed: 3, Rules: []faultnet.Rule{
+				{Op: transport.OpRead, Every: 4, Fault: faultnet.Disconnect},
+			}},
+		},
+		{
+			name: "truncated-frames", servers: 2, files: 10, size: 4096, epochs: 2,
+			sched: faultnet.Schedule{Seed: 4, Rules: []faultnet.Rule{
+				{Prob: 0.2, Fault: faultnet.Truncate},
+			}},
+		},
+		{
+			name: "corrupted-frames", servers: 2, files: 10, size: 4096, epochs: 2,
+			sched: faultnet.Schedule{Seed: 5, Rules: []faultnet.Rule{
+				{Prob: 0.2, Fault: faultnet.Corrupt},
+			}},
+		},
+		{
+			name: "slow-server", servers: 2, files: 8, size: 512, epochs: 1,
+			sched: faultnet.Schedule{Seed: 6, Rules: []faultnet.Rule{
+				{Server: "srv1", Every: 2, Fault: faultnet.Delay, Delay: 2 * time.Millisecond},
+			}},
+		},
+		{
+			name: "hung-server", servers: 2, files: 6, size: 256, epochs: 1,
+			sched: faultnet.Schedule{Seed: 7, HangTimeout: 20 * time.Millisecond, Rules: []faultnet.Rule{
+				{Server: "srv0", Op: transport.OpOpen, Every: 2, Fault: faultnet.Hang},
+			}},
+		},
+		{
+			name: "replica-failover", servers: 3, files: 18, size: 1024, epochs: 2, replicas: 2,
+			sched: faultnet.Schedule{Seed: 8, Rules: []faultnet.Rule{
+				{Server: "srv1", Fault: faultnet.Refuse},
+			}},
+		},
+		{
+			name: "segmented-under-corruption", servers: 3, files: 4, size: 40_000, epochs: 2, segSize: 8 << 10,
+			sched: faultnet.Schedule{Seed: 9, Rules: []faultnet.Rule{
+				{Op: transport.OpReadAt, Prob: 0.15, Fault: faultnet.Truncate},
+			}},
+		},
+		{
+			name: "fault-storm", servers: 3, files: 15, size: 2048, epochs: 3,
+			sched: faultnet.Schedule{Seed: 10, HangTimeout: 10 * time.Millisecond, Rules: []faultnet.Rule{
+				{Prob: 0.05, Fault: faultnet.Refuse},
+				{Prob: 0.05, Fault: faultnet.Disconnect},
+				{Prob: 0.05, Fault: faultnet.Truncate},
+				{Prob: 0.05, Fault: faultnet.Corrupt},
+				{Prob: 0.05, Fault: faultnet.Hang},
+				{Prob: 0.05, Fault: faultnet.Delay, Delay: time.Millisecond},
+			}},
+		},
+	}
+}
+
+// basenamePlacement hashes only the file's base name, so the file→server
+// assignment is identical no matter which temp directory the PFS tree
+// lands in. Chaos schedules scope rules by server name; without this, a
+// run whose temp path happened to home no files on the faulted server
+// would inject nothing.
+type basenamePlacement struct{ inner place.ModHash }
+
+func (basenamePlacement) Name() string { return "chaos-basename" }
+func (p basenamePlacement) Place(path string, n int) int {
+	return p.inner.Place(filepath.Base(path), n)
+}
+func (p basenamePlacement) Replicas(path string, n, r int) []int {
+	return p.inner.Replicas(filepath.Base(path), n, r)
+}
+
+// startChaosCluster is startCluster plus the faultnet decoration: every
+// server link is wrapped by inj under the stable name "srv<i>", with fast
+// retry/timeout settings so fault-heavy runs stay quick.
+func startChaosCluster(t *testing.T, pfsDir string, tc chaosCase, inj *faultnet.Injector, cliMut func(*ClientConfig)) ([]*Server, *Client) {
+	t.Helper()
+	return startCluster(t, pfsDir, tc.servers,
+		func(c *ServerConfig) { c.SegmentSize = tc.segSize },
+		func(c *ClientConfig) {
+			c.Replicas = tc.replicas
+			c.SegmentSize = tc.segSize
+			c.Placement = basenamePlacement{}
+			addrs := append([]string(nil), c.Servers...)
+			opts := transport.ClientOptions{
+				CallTimeout: 2 * time.Second,
+				Retry: transport.RetryPolicy{
+					MaxAttempts: 2,
+					BaseDelay:   100 * time.Microsecond,
+					MaxDelay:    time.Millisecond,
+					Seed:        tc.sched.Seed,
+				},
+			}
+			c.DialTransport = func(addr string) transport.Transport {
+				name := addr
+				for i, a := range addrs {
+					if a == addr {
+						name = fmt.Sprintf("srv%d", i)
+					}
+				}
+				return inj.Wrap(name, transport.DialWith(addr, opts))
+			}
+			if cliMut != nil {
+				cliMut(c)
+			}
+		})
+}
+
+func TestChaosMatrix(t *testing.T) {
+	for _, tc := range chaosMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			testutil.CheckLeaks(t)
+			pfsDir := filepath.Join(t.TempDir(), "dataset")
+			paths := writePFS(t, pfsDir, tc.files, tc.size)
+			want := make(map[string][]byte, len(paths))
+			for _, p := range paths {
+				content, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[p] = content
+			}
+
+			inj := faultnet.New(tc.sched)
+			defer inj.Close()
+			servers, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
+
+			opens := 0
+			for e := 0; e < tc.epochs; e++ {
+				for _, p := range paths {
+					got, err := cli.ReadAll(p)
+					opens++
+					if err != nil {
+						t.Fatalf("epoch %d: read %s under faults: %v", e, p, err)
+					}
+					// Invariant 1: byte-identical to the PFS copy.
+					if !bytes.Equal(got, want[p]) {
+						t.Fatalf("epoch %d: %s corrupted under faults (%d bytes, want %d)", e, p, len(got), len(want[p]))
+					}
+				}
+			}
+			if inj.Injected() == 0 {
+				t.Fatalf("schedule %q injected no faults; the case is vacuous", tc.name)
+			}
+
+			// Invariant 2, client side: every open is exactly one of
+			// Redirected or Fallbacks; failovers are a subset of the
+			// redirected opens.
+			st := cli.Stats()
+			if st.Redirected+st.Fallbacks != int64(opens) {
+				t.Fatalf("open accounting broken: redirected(%d)+fallbacks(%d) != opens(%d); stats %+v",
+					st.Redirected, st.Fallbacks, opens, st)
+			}
+			if st.Failovers > st.Redirected {
+				t.Fatalf("failovers(%d) exceed redirected opens(%d)", st.Failovers, st.Redirected)
+			}
+			if st.Degrades > st.Redirected {
+				t.Fatalf("degrades(%d) exceed redirected opens(%d): a handle degraded twice", st.Degrades, st.Redirected)
+			}
+			if st.Passthrough != 0 {
+				t.Fatalf("chaos reads leaked outside the dataset dir: %+v", st)
+			}
+
+			// Invariant 2, server side: everything served is exactly one
+			// of Hit or ReadThrough (segment reads replace opens in
+			// segmented mode).
+			for i, s := range servers {
+				ss := s.Stats()
+				served := ss.Opens
+				if tc.segSize > 0 {
+					served = ss.Opens + ss.Reads
+				}
+				if ss.Hits+ss.ReadThroughs != served {
+					t.Fatalf("srv%d: hits(%d)+readthroughs(%d) != served(%d); stats %+v",
+						i, ss.Hits, ss.ReadThroughs, served, ss)
+				}
+			}
+		})
+		// Invariant 3 (no goroutine leaks) asserted by CheckLeaks at
+		// subtest teardown, after servers and client close.
+	}
+}
+
+// The same seed must replay the same fault schedule bit-for-bit even
+// across distinct clusters (ephemeral ports differ; the trace is keyed by
+// stable server names).
+func TestChaosScheduleReplaysAcrossClusters(t *testing.T) {
+	testutil.CheckLeaks(t)
+	tc := chaosCase{
+		name: "replay", servers: 2, files: 10, size: 512, epochs: 2,
+		sched: faultnet.Schedule{Seed: 77, Rules: []faultnet.Rule{
+			{Prob: 0.2, Fault: faultnet.Refuse},
+			{Op: transport.OpRead, Prob: 0.2, Fault: faultnet.Truncate},
+		}},
+	}
+	// Both runs share one PFS tree so the call sequence — and therefore
+	// the per-(server, op) indices the schedule keys on — is identical.
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, tc.files, tc.size)
+	run := func() []faultnet.Event {
+		inj := faultnet.New(tc.sched)
+		defer inj.Close()
+		_, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
+		for e := 0; e < tc.epochs; e++ {
+			for _, p := range paths {
+				if _, err := cli.ReadAll(p); err != nil {
+					t.Fatalf("read %s: %v", p, err)
+				}
+			}
+		}
+		return inj.Trace()
+	}
+	t1, t2 := run(), run()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("same seed, different fault traces across clusters:\nrun1: %d events\nrun2: %d events", len(t1), len(t2))
+	}
+}
+
+// Invariant 4: with fallback disabled, a fault surfaces as a hard error
+// whose chain names the failing server.
+func TestChaosDisableFallbackNamesFailingServer(t *testing.T) {
+	testutil.CheckLeaks(t)
+	tc := chaosCase{
+		name: "hard-fail", servers: 1, files: 2, size: 128, epochs: 1,
+		sched: faultnet.Schedule{Seed: 11, Rules: []faultnet.Rule{
+			{Server: "srv0", Fault: faultnet.Refuse},
+		}},
+	}
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, tc.files, tc.size)
+	inj := faultnet.New(tc.sched)
+	defer inj.Close()
+	_, cli := startChaosCluster(t, pfsDir, tc, inj, func(c *ClientConfig) { c.DisableFallback = true })
+
+	_, err := cli.Open(paths[0])
+	if err == nil {
+		t.Fatal("open succeeded with every call refused and fallback disabled")
+	}
+	if !strings.Contains(err.Error(), "srv0") {
+		t.Fatalf("error chain does not name the failing server: %v", err)
+	}
+	st := cli.Stats()
+	if st.Fallbacks != 0 || st.Redirected != 0 {
+		t.Fatalf("hard failure was still accounted as served: %+v", st)
+	}
+}
+
+// Mid-file server loss under a schedule (rather than a hand-rolled
+// Close): the handle degrades to the PFS and the bytes stay identical.
+func TestChaosMidReadDegradation(t *testing.T) {
+	testutil.CheckLeaks(t)
+	tc := chaosCase{
+		name: "mid-read", servers: 1, files: 1, size: 64 << 10, epochs: 1,
+		sched: faultnet.Schedule{Seed: 12, Rules: []faultnet.Rule{
+			// First OpRead works, every later one is refused: the server
+			// "dies" with the handle open.
+			{Op: transport.OpRead, Offset: 1, Fault: faultnet.Refuse},
+		}},
+	}
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, tc.files, tc.size)
+	want, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultnet.New(tc.sched)
+	defer inj.Close()
+	_, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
+
+	f, err := cli.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	head := make([]byte, 4<<10)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	rest := make([]byte, len(want)-len(head))
+	if _, err := f.ReadAt(rest, int64(len(head))); err != nil {
+		t.Fatalf("read after injected server loss: %v", err)
+	}
+	if !bytes.Equal(append(head, rest...), want) {
+		t.Fatal("content corrupted across the mid-read degradation")
+	}
+	if st := cli.Stats(); st.Degrades != 1 {
+		t.Fatalf("degrades = %d, want exactly 1 (the degraded handle)", st.Degrades)
+	}
+}
+
+// Retry accounting: injected refusals burn transport retries, and the
+// budget surfaces through ClientStats.
+func TestChaosRetryBudgetSurfaced(t *testing.T) {
+	testutil.CheckLeaks(t)
+	tc := chaosCase{
+		name: "retries", servers: 1, files: 4, size: 256, epochs: 1,
+		sched: faultnet.Schedule{Seed: 13},
+	}
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, tc.files, tc.size)
+	inj := faultnet.New(tc.sched)
+	defer inj.Close()
+	srvs, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
+	for _, p := range paths {
+		if _, err := cli.ReadAll(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cli.Stats(); st.Retries != 0 {
+		t.Fatalf("fault-free run burned %d retries", st.Retries)
+	}
+	// Kill the server for real: every call now exhausts the 2-attempt
+	// budget, spending one retry per call (Close is idempotent, so the
+	// cluster cleanup tolerates the early kill).
+	for _, s := range srvs {
+		s.Close()
+	}
+	if _, err := cli.ReadAll(paths[0]); err != nil {
+		t.Fatalf("read with dead server must fall back, got %v", err)
+	}
+	if st := cli.Stats(); st.Retries == 0 {
+		t.Fatal("dead-server calls burned no transport retries")
+	}
+}

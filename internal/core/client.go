@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"hvac/internal/place"
 	"hvac/internal/transport"
@@ -36,6 +37,22 @@ type ClientConfig struct {
 	// independently, balancing load under highly skewed file sizes. The
 	// servers must be started with the same value.
 	SegmentSize int64
+	// CallTimeout bounds each RPC attempt so a hung server cannot stall
+	// the training loop; 0 means transport.DefaultCallTimeout, negative
+	// disables the deadline.
+	CallTimeout time.Duration
+	// RetryAttempts is the per-call attempt budget on each server link
+	// (first try included); values below 1 mean the transport default.
+	RetryAttempts int
+	// RetryBaseDelay is the backoff before the first retry (doubles per
+	// retry, seeded jitter); 0 means the transport default.
+	RetryBaseDelay time.Duration
+	// RetrySeed seeds the backoff jitter; equal seeds sleep identically.
+	RetrySeed uint64
+	// DialTransport overrides how a server link is established — the seam
+	// the fault-injection harness decorates. Nil means TCP via
+	// transport.DialWith with the timeout/retry settings above.
+	DialTransport func(addr string) transport.Transport
 }
 
 // ClientStats counts client-side activity.
@@ -43,7 +60,9 @@ type ClientStats struct {
 	Redirected  int64 // opens served via HVAC
 	Passthrough int64 // opens outside the dataset dir
 	Fallbacks   int64 // opens that fell back to the PFS after server failure
+	Degrades    int64 // redirected handles demoted to PFS mid-read (§III-H)
 	Failovers   int64 // opens served by a non-primary replica
+	Retries     int64 // transport-level retry attempts spent across all server links
 	BytesRead   int64
 }
 
@@ -51,7 +70,7 @@ type ClientStats struct {
 // interposition library (see DESIGN.md for the substitution argument).
 type Client struct {
 	cfg   ClientConfig
-	conns []*transport.Client
+	conns []transport.Transport
 
 	mu    sync.Mutex
 	stats ClientStats
@@ -76,18 +95,37 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Replicas < 1 {
 		cfg.Replicas = 1
 	}
+	dial := cfg.DialTransport
+	if dial == nil {
+		opts := transport.ClientOptions{
+			CallTimeout: cfg.CallTimeout,
+			Retry: transport.RetryPolicy{
+				MaxAttempts: cfg.RetryAttempts,
+				BaseDelay:   cfg.RetryBaseDelay,
+				Seed:        cfg.RetrySeed,
+			},
+		}
+		dial = func(addr string) transport.Transport { return transport.DialWith(addr, opts) }
+	}
 	c := &Client{cfg: cfg}
 	for _, addr := range cfg.Servers {
-		c.conns = append(c.conns, transport.Dial(addr))
+		c.conns = append(c.conns, dial(addr))
 	}
 	return c, nil
 }
 
-// Stats returns a snapshot of client counters.
+// Stats returns a snapshot of client counters. Retries is gathered live
+// from the server links (each transport keeps its own retry budget).
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	c.mu.Unlock()
+	for _, conn := range c.conns {
+		if rc, ok := conn.(interface{ Retries() int64 }); ok {
+			st.Retries += rc.Retries()
+		}
+	}
+	return st
 }
 
 // Close releases all server connections.
@@ -118,7 +156,7 @@ func (c *Client) Home(path string) int {
 // io.Reader, io.ReaderAt and io.Closer.
 type File struct {
 	c         *Client
-	conn      *transport.Client
+	conn      transport.Transport
 	handle    int64
 	size      int64
 	path      string
@@ -188,7 +226,7 @@ func (c *Client) bump(f func(*ClientStats)) {
 }
 
 // segmentHome returns the connection serving segment i of path.
-func (c *Client) segmentHome(path string, seg int64) *transport.Client {
+func (c *Client) segmentHome(path string, seg int64) transport.Transport {
 	key := fmt.Sprintf("%s@%d", path, seg)
 	return c.conns[c.cfg.Placement.Place(key, len(c.conns))]
 }
@@ -342,7 +380,7 @@ func (f *File) degradeToPFS(p []byte, off int64) (int, error) {
 			return 0, err
 		}
 		f.fallback = pf
-		f.c.bump(func(s *ClientStats) { s.Fallbacks++ })
+		f.c.bump(func(s *ClientStats) { s.Degrades++ })
 	}
 	fb := f.fallback
 	f.mu.Unlock()

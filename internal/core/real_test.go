@@ -12,6 +12,7 @@ import (
 
 	"hvac/internal/cachestore"
 	"hvac/internal/place"
+	"hvac/internal/testutil"
 	"hvac/internal/transport"
 )
 
@@ -36,6 +37,7 @@ func writePFS(t *testing.T, dir string, files int, size int) []string {
 // startCluster launches n real HVAC servers over pfsDir and a client.
 func startCluster(t *testing.T, pfsDir string, n int, cfgMut func(*ServerConfig), cliMut func(*ClientConfig)) ([]*Server, *Client) {
 	t.Helper()
+	testutil.CheckLeaks(t)
 	servers := make([]*Server, n)
 	addrs := make([]string, n)
 	for i := range servers {
@@ -420,8 +422,8 @@ func TestRealMidReadFailover(t *testing.T) {
 			t.Fatalf("corrupt byte at %d: %d", i, b)
 		}
 	}
-	if st := cli.Stats(); st.Fallbacks != 1 {
-		t.Fatalf("fallbacks = %d, want 1", st.Fallbacks)
+	if st := cli.Stats(); st.Degrades != 1 || st.Fallbacks != 0 {
+		t.Fatalf("degrades = %d fallbacks = %d, want a single mid-read degrade", st.Degrades, st.Fallbacks)
 	}
 }
 

@@ -55,6 +55,10 @@ type ServerConfig struct {
 	// independently, which balances load for datasets with highly skewed
 	// file sizes. Clients must use the same value.
 	SegmentSize int64
+	// WriteTimeout bounds each response write so a dead client cannot pin
+	// a connection goroutine; 0 means transport.DefaultWriteTimeout,
+	// negative disables the deadline.
+	WriteTimeout time.Duration
 }
 
 // ServerStats counts server-side activity. The counters satisfy an
@@ -149,7 +153,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		s.moverWG.Add(1)
 		go s.mover()
 	}
-	rpcSrv, err := transport.Serve(cfg.ListenAddr, s.handle)
+	rpcSrv, err := transport.ServeWith(cfg.ListenAddr, s.handle, transport.ServerOptions{WriteTimeout: cfg.WriteTimeout})
 	if err != nil {
 		close(s.fetchQ)
 		s.moverWG.Wait()

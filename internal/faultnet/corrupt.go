@@ -1,0 +1,43 @@
+package faultnet
+
+import "math/rand"
+
+// Corrupter deterministically damages encoded protocol frames. The chaos
+// injector uses it to synthesise wire damage; the transport fuzz tests
+// use it to seed their corpora, so the fuzzer starts from exactly the
+// damage patterns the chaos tier produces.
+type Corrupter struct {
+	rng *rand.Rand
+}
+
+// NewCorrupter builds a corrupter whose damage pattern is a pure function
+// of seed.
+func NewCorrupter(seed uint64) *Corrupter {
+	return &Corrupter{rng: rand.New(rand.NewSource(int64(splitmix64(seed))))}
+}
+
+// Truncate cuts the frame short at a pseudorandom point, removing at
+// least one byte, so a length-prefixed decoder must report an unexpected
+// EOF. Frames of one byte or fewer come back empty.
+func (c *Corrupter) Truncate(frame []byte) []byte {
+	if len(frame) <= 1 {
+		return frame[:0]
+	}
+	cut := c.rng.Intn(len(frame)-1) + 1 // keep [1, len-1] bytes
+	return frame[:cut]
+}
+
+// BitFlip flips between one and three pseudorandomly chosen bits in a
+// copy of the frame. Nil and empty frames pass through.
+func (c *Corrupter) BitFlip(frame []byte) []byte {
+	if len(frame) == 0 {
+		return frame
+	}
+	out := append([]byte(nil), frame...)
+	flips := c.rng.Intn(3) + 1
+	for i := 0; i < flips; i++ {
+		pos := c.rng.Intn(len(out))
+		out[pos] ^= 1 << uint(c.rng.Intn(8))
+	}
+	return out
+}

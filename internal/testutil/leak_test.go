@@ -1,0 +1,33 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeakedDetectsAndClears(t *testing.T) {
+	before := Snapshot()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	leaked := Leaked(before, 50*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("leak check found %d goroutines, want the 1 deliberately leaked", len(leaked))
+	}
+	close(block)
+	if leaked := Leaked(before, 2*time.Second); len(leaked) != 0 {
+		t.Fatalf("leak reported after the goroutine exited:\n%s", leaked[0])
+	}
+}
+
+func TestCheckLeaksPassesOnCleanTest(t *testing.T) {
+	CheckLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,92 @@
+package transport
+
+import "time"
+
+// Default retry/deadline parameters, chosen so a hung or dead server costs
+// a training loop well under a second of stall before the PFS fallback
+// kicks in, while an idle-closed connection is still retried transparently.
+const (
+	// DefaultCallTimeout bounds one Call attempt (request write + response
+	// read) on a TCP client.
+	DefaultCallTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds one response write on the server, so a
+	// dead client cannot pin a connection goroutine forever.
+	DefaultWriteTimeout = 30 * time.Second
+
+	defaultRetryAttempts  = 2
+	defaultRetryBaseDelay = 2 * time.Millisecond
+	defaultRetryMaxDelay  = 250 * time.Millisecond
+)
+
+// RetryPolicy is a bounded exponential-backoff retry schedule with seeded
+// jitter. The schedule is a pure function of the policy, so for a fixed
+// Seed the pause before every retry — and therefore the total sleep of a
+// failed call — is deterministic, which keeps chaos runs replayable.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of Call attempts (first try
+	// included); values below 1 mean the default of 2.
+	MaxAttempts int
+	// BaseDelay is the pause before the first retry; it doubles per
+	// retry. 0 means the 2 ms default.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (jitter included). 0 means the 250 ms
+	// default.
+	MaxDelay time.Duration
+	// Seed drives the jitter stream.
+	Seed uint64
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = defaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultRetryBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultRetryMaxDelay
+	}
+	if p.BaseDelay > p.MaxDelay {
+		p.BaseDelay = p.MaxDelay
+	}
+	return p
+}
+
+// Backoff returns the pause before retry number retry (1 = the pause
+// between the first and second attempt). The exponential term doubles per
+// retry and is capped at MaxDelay; up to half of it is replaced by
+// deterministic jitter drawn from Seed.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	p = p.withDefaults()
+	if retry < 1 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d <= 0 || d >= p.MaxDelay { // overflow or cap
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Deterministic jitter: keep half, redraw the other half from the
+	// seeded stream so concurrent clients with distinct seeds decorrelate.
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(splitmix64(p.Seed^uint64(retry)*0x9e3779b97f4a7c15)%uint64(half)+1)
+	}
+	return d
+}
+
+// splitmix64 is the SplitMix64 mixer: a bijective avalanche function used
+// to derive independent deterministic streams from a seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

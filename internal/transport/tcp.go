@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,10 +13,19 @@ import (
 // be safe for concurrent use; the server invokes one per in-flight request.
 type Handler func(*Request) *Response
 
+// ServerOptions tune a server's connection handling.
+type ServerOptions struct {
+	// WriteTimeout bounds each response write so a dead or stalled client
+	// cannot pin a connection goroutine. 0 means DefaultWriteTimeout;
+	// negative disables the deadline.
+	WriteTimeout time.Duration
+}
+
 // Server accepts HVAC protocol connections and dispatches requests.
 type Server struct {
-	ln      net.Listener
-	handler Handler
+	ln           net.Listener
+	handler      Handler
+	writeTimeout time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -24,13 +34,21 @@ type Server struct {
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") with the given
-// handler and begins accepting in the background.
+// handler and default options, and begins accepting in the background.
 func Serve(addr string, handler Handler) (*Server, error) {
+	return ServeWith(addr, handler, ServerOptions{})
+}
+
+// ServeWith is Serve with explicit options.
+func ServeWith(addr string, handler Handler, opts ServerOptions) (*Server, error) {
+	if opts.WriteTimeout == 0 {
+		opts.WriteTimeout = DefaultWriteTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handler: handler, writeTimeout: opts.WriteTimeout, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -76,6 +94,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if resp == nil {
 			resp = &Response{Status: StatusError, Err: "nil response from handler"}
 		}
+		if s.writeTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+				return
+			}
+		}
 		if err := WriteResponse(conn, resp); err != nil {
 			return
 		}
@@ -105,25 +128,64 @@ func (s *Server) Close() {
 // ErrClientClosed is returned by Call after Close.
 var ErrClientClosed = errors.New("transport: client closed")
 
+// ClientOptions tune a TCP client's deadlines and retry behaviour.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment. 0 means 5 s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one Call attempt: request write plus response
+	// read. 0 means DefaultCallTimeout; negative disables the deadline.
+	CallTimeout time.Duration
+	// Retry is the per-call retry schedule; zero fields take the package
+	// defaults (2 attempts, 2 ms base, 250 ms cap).
+	Retry RetryPolicy
+}
+
 // Client is a connection-pooling RPC client for one server address. Calls
 // are synchronous; the pool bounds concurrent sockets.
 type Client struct {
 	addr        string
 	dialTimeout time.Duration
+	callTimeout time.Duration
+	retry       RetryPolicy
+	sleep       func(time.Duration) // test seam for backoff pauses
+
+	retries atomic.Int64
 
 	mu     sync.Mutex
 	idle   []net.Conn
 	closed bool
 }
 
-// Dial returns a client for addr. No connection is made until the first
-// Call.
+// Dial returns a client for addr with default options. No connection is
+// made until the first Call.
 func Dial(addr string) *Client {
-	return &Client{addr: addr, dialTimeout: 5 * time.Second}
+	return DialWith(addr, ClientOptions{})
+}
+
+// DialWith is Dial with explicit options.
+func DialWith(addr string, opts ClientOptions) *Client {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.CallTimeout == 0 {
+		opts.CallTimeout = DefaultCallTimeout
+	}
+	return &Client{
+		addr:        addr,
+		dialTimeout: opts.DialTimeout,
+		callTimeout: opts.CallTimeout,
+		retry:       opts.Retry.withDefaults(),
+		sleep:       time.Sleep,
+	}
 }
 
 // Addr returns the target address.
 func (c *Client) Addr() string { return c.addr }
+
+// Retries reports how many retry attempts (beyond each call's first try)
+// the client has spent — the retry-budget accounting surfaced in the HVAC
+// client's stats.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 func (c *Client) getConn() (net.Conn, error) {
 	c.mu.Lock()
@@ -151,36 +213,63 @@ func (c *Client) putConn(conn net.Conn) {
 	c.idle = append(c.idle, conn)
 }
 
-// Call sends req and waits for the response. A connection-level failure is
-// retried once on a fresh connection (the previous socket may have been
-// idle-closed by the peer); a second failure is returned to the caller,
-// which for an HVAC client triggers PFS fallback.
+// Call sends req and waits for the response. Each attempt runs under the
+// client's call deadline, so a hung server surfaces as a timeout instead
+// of stalling the training loop. Connection-level failures (refused,
+// reset, deadline, corrupt frame) are retried on a fresh connection under
+// the retry policy's exponential backoff; once the attempt budget is
+// spent the last error is returned to the caller, which for an HVAC
+// client triggers PFS fallback.
 func (c *Client) Call(req *Request) (*Response, error) {
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		conn, err := c.getConn()
-		if err != nil {
-			if errors.Is(err, ErrClientClosed) {
-				return nil, err
-			}
-			lastErr = err
-			continue
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			c.sleep(c.retry.Backoff(attempt))
 		}
-		if err := WriteRequest(conn, req); err != nil {
-			_ = conn.Close() // the write failure is the error that matters
-			lastErr = err
-			continue
+		resp, err := c.callOnce(req)
+		if err == nil {
+			return resp, nil
 		}
-		resp, err := ReadResponse(conn)
-		if err != nil {
-			_ = conn.Close() // the read failure is the error that matters
-			lastErr = err
-			continue
+		if errors.Is(err, ErrClientClosed) {
+			return nil, err
 		}
-		c.putConn(conn)
-		return resp, nil
+		lastErr = err
 	}
-	return nil, fmt.Errorf("transport: call %s failed: %w", c.addr, lastErr)
+	return nil, fmt.Errorf("transport: call %s failed after %d attempts: %w", c.addr, c.retry.MaxAttempts, lastErr)
+}
+
+// callOnce runs one request/response exchange on one connection. Any
+// failure closes the connection (it may hold a half-written frame); only
+// a cleanly completed exchange returns the socket to the pool.
+func (c *Client) callOnce(req *Request) (*Response, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	if c.callTimeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			_ = conn.Close() // setting the deadline failed; the socket is suspect
+			return nil, err
+		}
+	}
+	if err := WriteRequest(conn, req); err != nil {
+		_ = conn.Close() // the write failure is the error that matters
+		return nil, err
+	}
+	resp, err := ReadResponse(conn)
+	if err != nil {
+		_ = conn.Close() // the read failure is the error that matters
+		return nil, err
+	}
+	if c.callTimeout > 0 {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			_ = conn.Close() // cannot clear the deadline: do not pool the socket
+			return resp, nil
+		}
+	}
+	c.putConn(conn)
+	return resp, nil
 }
 
 // Ping round-trips an OpPing, reporting reachability.

@@ -26,4 +26,8 @@ go run ./cmd/hvaclint ./...
 echo '--- go test -race ./...'
 go test -race ./...
 
+echo '--- chaos tier (go test -race -shuffle=on)'
+go test -race -shuffle=on -run Chaos ./internal/core
+go test -race -shuffle=on ./internal/faultnet
+
 echo 'check: OK'
