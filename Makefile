@@ -11,8 +11,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Only hvaclint, with per-analyzer counts: the fast pre-commit path.
+# The full gate (make check) still runs build/vet/gofmt/tests around it.
 lint:
-	$(GO) run ./cmd/hvaclint ./...
+	$(GO) run ./cmd/hvaclint -stats ./...
 
 # The full gate: what CI runs, and what a change must pass before review.
 check:

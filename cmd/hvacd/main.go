@@ -73,14 +73,22 @@ func main() {
 	fmt.Printf("hvacd: serving %s on %s (cache %s, %d movers, %s eviction)\n",
 		*pfsDir, srv.Addr(), *cacheDir, *movers, *evict)
 
+	stop := make(chan struct{})
 	if *stats > 0 {
 		go func() {
-			for range time.Tick(*stats) {
-				st := srv.Stats()
-				fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB\n",
-					st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BytesServed, st.BytesFetched,
-					st.Evictions, srv.CachedFiles(), srv.CachedBytes())
-				fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					st := srv.Stats()
+					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB\n",
+						st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BytesServed, st.BytesFetched,
+						st.Evictions, srv.CachedFiles(), srv.CachedBytes())
+					fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
+				case <-stop:
+					return
+				}
 			}
 		}()
 	}
@@ -89,5 +97,6 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("hvacd: shutting down, purging cache (job-coupled life cycle)")
+	close(stop)
 	srv.Close()
 }

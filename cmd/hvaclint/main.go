@@ -3,18 +3,29 @@
 //
 // Usage:
 //
-//	hvaclint [-list] [packages]
+//	hvaclint [-list] [-format text|json] [-stats] [packages]
 //
 // With no arguments or the pattern "./...", every package of the module
-// is analysed. Other arguments name package directories relative to the
-// working directory. Findings print as
+// is analysed — as one set, so the interprocedural analyzers (lockorder,
+// goroleak, atomicmix, untrustedlen) see the whole call graph. Other
+// arguments name package directories relative to the working directory.
+// Findings print as
 //
 //	file:line:col: [rule] message
 //
-// and can be suppressed per line with //hvaclint:ignore <rule> <reason>.
+// or, with -format json, as a JSON array of
+//
+//	{"rule": ..., "pos": {"file": ..., "line": ..., "col": ...},
+//	 "message": ..., "suppressed": ...}
+//
+// including suppressed findings (suppressed entries never affect the
+// exit status; CI uses them for annotations). -stats appends a
+// per-analyzer finding count so gate failures name the rule. Findings
+// can be suppressed per line with //hvaclint:ignore <rule> <reason>.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +37,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", "text", "output format: text or json")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts")
 	flag.Parse()
 	analyzers := analysis.Analyzers()
 	if *list {
@@ -34,13 +47,32 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Args(), analyzers); err != nil {
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "hvaclint: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), analyzers, *format, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "hvaclint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string, analyzers []*analysis.Analyzer) error {
+// jsonPos is the position part of the stable -format json schema.
+type jsonPos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// jsonFinding is one diagnostic in the stable -format json schema.
+type jsonFinding struct {
+	Rule       string  `json:"rule"`
+	Pos        jsonPos `json:"pos"`
+	Message    string  `json:"message"`
+	Suppressed bool    `json:"suppressed"`
+}
+
+func run(args []string, analyzers []*analysis.Analyzer, format string, stats bool) error {
 	root, err := moduleRoot()
 	if err != nil {
 		return err
@@ -53,23 +85,72 @@ func run(args []string, analyzers []*analysis.Analyzer) error {
 	if err != nil {
 		return err
 	}
-	findings := 0
+	// Load the selected packages and analyse them as one set: the
+	// interprocedural analyzers need the shared call graph.
+	var pkgs []*analysis.Package
 	for _, ip := range paths {
 		pkg, err := l.Load(ip)
 		if err != nil {
 			return err
 		}
-		for _, d := range analysis.Run(pkg, analyzers) {
-			pos := d.Pos
-			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-				pos.Filename = rel
-			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Rule, d.Message)
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return fmt.Errorf("no packages selected")
+	}
+	diags := analysis.RunPackages(pkgs, analyzers)
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	findings := 0
+	perRule := make(map[string]int)
+	for _, d := range diags {
+		if !d.Suppressed {
 			findings++
+			perRule[d.Rule]++
+		}
+	}
+
+	switch format {
+	case "json":
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				Rule:       d.Rule,
+				Pos:        jsonPos{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column},
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	default:
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "hvaclint: analyzer findings:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %d\n", a.Name, perRule[a.Name])
+		}
+		if perRule["suppress"] > 0 {
+			fmt.Fprintf(os.Stderr, "  %-16s %d\n", "suppress", perRule["suppress"])
 		}
 	}
 	if findings > 0 {
-		fmt.Printf("hvaclint: %d finding(s)\n", findings)
+		if format != "json" {
+			fmt.Printf("hvaclint: %d finding(s)\n", findings)
+		}
 		os.Exit(1)
 	}
 	return nil

@@ -22,9 +22,12 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"hvac/internal/analysis/callgraph"
 )
 
 // A Diagnostic is one finding of one analyzer.
@@ -35,13 +38,20 @@ type Diagnostic struct {
 	Rule string
 	// Message describes the violation.
 	Message string
+	// Suppressed marks a finding covered by a reasoned
+	// //hvaclint:ignore comment. Suppressed findings do not gate the
+	// build but survive into -format json output for auditing.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// An Analyzer checks one invariant over one package.
+// An Analyzer checks one invariant over one package (Run) or over the
+// whole analyzed package set at once (RunModule). Exactly one of the two
+// hooks is set: interprocedural analyzers use RunModule, which sees every
+// package plus the shared call graph.
 type Analyzer struct {
 	// Name is the rule name used in output and suppression comments.
 	Name string
@@ -50,6 +60,67 @@ type Analyzer struct {
 	// Run inspects the pass's package and reports findings via
 	// Pass.Report.
 	Run func(*Pass)
+	// RunModule, if set, runs once over every analyzed package with the
+	// shared call graph — the hook for interprocedural analyzers.
+	RunModule func(*ModulePass)
+}
+
+// A ModulePass carries the whole analyzed package set through one
+// interprocedural analyzer.
+type ModulePass struct {
+	// Pkgs are the analyzed packages, sorted by import path.
+	Pkgs []*Package
+	// Graph is the CHA call graph over Pkgs.
+	Graph *callgraph.Graph
+	// Fset positions every node of every package.
+	Fset *token.FileSet
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// FindPackage resolves an import path to its type-checked package,
+// searching the analyzed set first and the import graph second, so
+// interprocedural analyzers can anchor on types (e.g. transport.Request)
+// even when analyzing a subset of the module.
+func (p *ModulePass) FindPackage(path string) *types.Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.ImportPath == path {
+			return pkg.Types
+		}
+	}
+	seen := map[*types.Package]bool{}
+	var find func(t *types.Package) *types.Package
+	find = func(t *types.Package) *types.Package {
+		if t == nil || seen[t] {
+			return nil
+		}
+		seen[t] = true
+		if t.Path() == path {
+			return t
+		}
+		for _, imp := range t.Imports() {
+			if found := find(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	for _, pkg := range p.Pkgs {
+		if found := find(pkg.Types); found != nil {
+			return found
+		}
+	}
+	return nil
 }
 
 // A Pass carries one package through one analyzer.
@@ -80,18 +151,52 @@ func Analyzers() []*Analyzer {
 		PFSBypass,
 		LockSafe,
 		ErrDrop,
+		LockOrder,
+		GoroLeak,
+		AtomicMix,
+		UntrustedLen,
 	}
 }
 
-// Run applies the analyzers to pkg, resolves suppression comments, and
-// returns the surviving diagnostics sorted by position.
+// Run applies the analyzers to one package, resolves suppression
+// comments, and returns the surviving (unsuppressed) diagnostics sorted
+// by position. Interprocedural analyzers see a one-package module.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Package: pkg, analyzer: a, diags: &diags}
-		a.Run(pass)
+	all := RunPackages([]*Package{pkg}, analyzers)
+	out := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
 	}
-	diags = applySuppressions(pkg, diags)
+	return out
+}
+
+// RunPackages applies the analyzers to the whole package set:
+// per-package analyzers run over each package, interprocedural ones run
+// once over the set with a shared call graph. Findings covered by a
+// reasoned //hvaclint:ignore comment are marked Suppressed rather than
+// dropped; the result is sorted by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	var graph *callgraph.Graph
+	for _, a := range analyzers {
+		switch {
+		case a.RunModule != nil:
+			if graph == nil {
+				graph = BuildGraph(pkgs)
+			}
+			a.RunModule(&ModulePass{
+				Pkgs: pkgs, Graph: graph, Fset: pkgs[0].Fset,
+				analyzer: a, diags: &diags,
+			})
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Package: pkg, analyzer: a, diags: &diags})
+			}
+		}
+	}
+	diags = applySuppressions(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -100,9 +205,26 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
 	})
 	return diags
+}
+
+// BuildGraph constructs the shared CHA call graph over the package set.
+func BuildGraph(pkgs []*Package) *callgraph.Graph {
+	cg := make([]*callgraph.Package, len(pkgs))
+	for i, pkg := range pkgs {
+		cg[i] = &callgraph.Package{
+			Path:  pkg.ImportPath,
+			Files: pkg.Files,
+			Info:  pkg.Info,
+			Types: pkg.Types,
+		}
+	}
+	return callgraph.Build(pkgs[0].Fset, cg)
 }
 
 // suppression is one parsed //hvaclint:ignore comment.
@@ -147,30 +269,31 @@ func parseSuppressions(pkg *Package, f *ast.File) (map[string][]suppression, []D
 	return byKey, malformed
 }
 
-// applySuppressions drops diagnostics covered by a reasoned
-// //hvaclint:ignore comment and appends diagnostics for malformed ones.
-func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+// applySuppressions marks diagnostics covered by a reasoned
+// //hvaclint:ignore comment as Suppressed — a suppression silences
+// exactly its named rule on its line, never a co-located finding of
+// another rule — and appends diagnostics for malformed comments.
+func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	byKey := make(map[string][]suppression)
 	var out []Diagnostic
-	for _, f := range pkg.Files {
-		m, malformed := parseSuppressions(pkg, f)
-		for k, v := range m {
-			byKey[k] = append(byKey[k], v...)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			m, malformed := parseSuppressions(pkg, f)
+			for k, v := range m {
+				byKey[k] = append(byKey[k], v...)
+			}
+			out = append(out, malformed...)
 		}
-		out = append(out, malformed...)
 	}
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-		suppressed := false
 		for _, s := range byKey[key] {
 			if s.rule == d.Rule {
-				suppressed = true
+				d.Suppressed = true
 				break
 			}
 		}
-		if !suppressed {
-			out = append(out, d)
-		}
+		out = append(out, d)
 	}
 	return out
 }

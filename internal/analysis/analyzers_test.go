@@ -21,3 +21,22 @@ func TestLockSafeFixtures(t *testing.T) {
 func TestErrDropFixtures(t *testing.T) {
 	fixtureTest(t, ErrDrop, "errfix", "hvac/internal/errfix")
 }
+
+func TestLockOrderFixtures(t *testing.T) {
+	fixtureTest(t, LockOrder, "lockorderfix", "hvac/internal/lockorderfix")
+}
+
+func TestGoroLeakFixtures(t *testing.T) {
+	fixtureTest(t, GoroLeak, "gorofix", "hvac/internal/gorofix")
+}
+
+func TestAtomicMixFixtures(t *testing.T) {
+	fixtureTest(t, AtomicMix, "atomfix", "hvac/internal/atomfix")
+}
+
+// The lenfix fixture stands in for internal/transport itself: the
+// untrustedlen analyzer seeds its taint from length fields declared in a
+// package with that import path.
+func TestUntrustedLenFixtures(t *testing.T) {
+	fixtureTest(t, UntrustedLen, "lenfix", "hvac/internal/transport")
+}

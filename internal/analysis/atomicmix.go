@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix reports variables — typically struct fields used as counters —
+// that are accessed through sync/atomic in one place and with plain
+// loads/stores in another, anywhere in the module. Mixing the two is the
+// race class the -race detector only catches when both sides happen to
+// execute in the same run; statically, one atomic access to &x.f commits
+// every access of x.f to sync/atomic (or better: the typed atomic.Int64,
+// which makes plain access unrepresentable).
+var AtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "fields accessed both via sync/atomic and plain loads/stores",
+	RunModule: runAtomicMix,
+}
+
+// atomicUse records one sync/atomic access of a variable.
+type atomicUse struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+func runAtomicMix(p *ModulePass) {
+	// Pass 1: every &x passed to a sync/atomic function commits x to
+	// atomic access. atomicOperands remembers the exact AST nodes so pass
+	// 2 does not report the atomic sites themselves.
+	first := make(map[*types.Var]token.Pos)
+	atomicOperands := make(map[ast.Expr]bool)
+	for _, n := range p.Graph.Nodes() {
+		if n.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				return false // literals are their own nodes
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc2(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				operand := ast.Unparen(un.X)
+				obj := addressedVar(info, operand)
+				if obj == nil {
+					continue
+				}
+				atomicOperands[operand] = true
+				if _, seen := first[obj]; !seen {
+					first[obj] = un.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(first) == 0 {
+		return
+	}
+
+	// Pass 2: any other load or store of a committed variable is a mixed
+	// access. Composite-literal field keys and the atomic operands from
+	// pass 1 are not accesses.
+	var mixed []atomicUse
+	for _, n := range p.Graph.Nodes() {
+		if n.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				return false
+			}
+			if kv, ok := x.(*ast.KeyValueExpr); ok {
+				ast.Inspect(kv.Value, func(y ast.Node) bool {
+					if use := plainUse(info, y, first, atomicOperands); use != nil {
+						mixed = append(mixed, *use)
+					}
+					return true
+				})
+				return false
+			}
+			if use := plainUse(info, x, first, atomicOperands); use != nil {
+				mixed = append(mixed, *use)
+			}
+			return true
+		})
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].pos < mixed[j].pos })
+	for _, m := range mixed {
+		p.Reportf(m.pos,
+			"%s is accessed with sync/atomic at %s but with a plain load/store here; make every access atomic, or switch the field to a typed atomic (atomic.Int64)",
+			m.obj.Name(), p.Fset.Position(first[m.obj]))
+	}
+}
+
+// plainUse reports a non-atomic access of a committed variable, or nil.
+func plainUse(info *types.Info, x ast.Node, committed map[*types.Var]token.Pos, atomicOperands map[ast.Expr]bool) *atomicUse {
+	expr, ok := x.(ast.Expr)
+	if !ok || atomicOperands[expr] {
+		return nil
+	}
+	var obj *types.Var
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		obj, _ = info.Uses[e.Sel].(*types.Var)
+	case *ast.Ident:
+		// Only bare identifiers: the Sel of a SelectorExpr is visited
+		// separately and must not double-report.
+		if v, isVar := info.Uses[e].(*types.Var); isVar && !v.IsField() {
+			obj = v
+		}
+	}
+	if obj == nil {
+		return nil
+	}
+	if _, ok := committed[obj]; !ok {
+		return nil
+	}
+	return &atomicUse{obj: obj, pos: expr.Pos()}
+}
+
+// addressedVar resolves the variable named by an atomic call's &operand:
+// a struct field (x.f) or a plain variable.
+func addressedVar(info *types.Info, operand ast.Expr) *types.Var {
+	switch e := operand.(type) {
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	}
+	return nil
+}

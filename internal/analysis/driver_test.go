@@ -3,6 +3,7 @@ package analysis
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -58,10 +59,100 @@ func TestModuleIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, Analyzers()) {
+	// One RunPackages call over the whole module: the interprocedural
+	// analyzers must see the full call graph, exactly as cmd/hvaclint
+	// runs them.
+	for _, d := range RunPackages(pkgs, Analyzers()) {
+		if !d.Suppressed {
 			t.Errorf("%s", d)
 		}
+	}
+}
+
+// TestSuppressionScopedPerRule pins down that //hvaclint:ignore silences
+// exactly its named rule: a co-located finding of another analyzer on the
+// same line must survive.
+func TestSuppressionScopedPerRule(t *testing.T) {
+	// Both sources put two rules on one line; each case suppresses one.
+	const simSrc = `package sim
+
+import (
+	"io"
+	"time"
+)
+
+func stamp(sink io.Writer) {
+	%s
+	sink.Write([]byte(time.Now().String()))
+}
+`
+	const atomSrc = `package core
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func bump(c *counter) { atomic.AddInt64(&c.n, 1) }
+
+func pump(c *counter) {
+	%s
+	go func() { for { c.n++ } }()
+}
+`
+	cases := []struct {
+		name     string
+		src      string
+		suppress string
+		want     []string // surviving rules, sorted
+	}{
+		{"none-sim", simSrc, "_ = 0", []string{"errdrop", "simdeterminism"}},
+		{"sim-suppressed", simSrc, "//hvaclint:ignore simdeterminism test wants the co-located errdrop to survive", []string{"errdrop"}},
+		{"errdrop-suppressed", simSrc, "//hvaclint:ignore errdrop test wants the co-located simdeterminism to survive", []string{"simdeterminism"}},
+		{"none-atomic", atomSrc, "_ = 0", []string{"atomicmix", "goroleak"}},
+		{"goroleak-suppressed", atomSrc, "//hvaclint:ignore goroleak test wants the co-located atomicmix to survive", []string{"atomicmix"}},
+		{"atomicmix-suppressed", atomSrc, "//hvaclint:ignore atomicmix test wants the co-located goroleak to survive", []string{"goroleak"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			importPath, filename := "hvac/internal/sim", "simscoped.go"
+			if strings.HasPrefix(tc.src, "package core") {
+				importPath, filename = "hvac/internal/core", "counters.go"
+			}
+			src := strings.Replace(tc.src, "%s", tc.suppress, 1)
+			diags := loadSource(t, importPath, filename, src)
+			var rules []string
+			for _, d := range diags {
+				rules = append(rules, d.Rule)
+			}
+			sort.Strings(rules)
+			if strings.Join(rules, ",") != strings.Join(tc.want, ",") {
+				t.Fatalf("want surviving rules %v, got %v", tc.want, diags)
+			}
+		})
+	}
+}
+
+// TestCallGraphDeterministic builds the module call graph twice from two
+// independent loaders and requires identical fingerprints: analyzer
+// output and CI gating must not depend on map iteration order.
+func TestCallGraphDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module twice")
+	}
+	fingerprint := func() string {
+		l, err := NewLoader("../..")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := l.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BuildGraph(pkgs).Fingerprint()
+	}
+	a, b := fingerprint(), fingerprint()
+	if a != b {
+		t.Fatalf("call-graph fingerprint differs across builds:\n  %s\n  %s", a, b)
 	}
 }
 

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hvac/internal/analysis/callgraph"
+)
+
+// GoroLeak is the static twin of testutil.CheckLeaks: every go statement
+// in a non-test package must have a termination path visible through the
+// call graph. A spawned function passes if it (or a function it
+// statically calls, transitively):
+//
+//   - calls (*sync.WaitGroup).Done — someone joins it;
+//   - receives from a channel or contains a select — it parks on a
+//     signal (context cancellation arrives as <-ctx.Done());
+//   - ranges over a channel — it exits when the producer closes;
+//   - or contains no loop at all — straight-line bodies terminate.
+//
+// Ticker channels are excluded from the channel evidence: time.Tick and
+// time.Ticker.C are never closed, so `for range time.Tick(d)` loops
+// forever and is exactly the leak this analyzer exists to catch.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "go statements whose goroutine has no context, close-channel or WaitGroup termination path",
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(p *ModulePass) {
+	for _, n := range p.Graph.Nodes() {
+		if n.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				return false // nested literals report through their own node
+			}
+			g, ok := x.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			spawned := spawnedNode(p.Graph, info, g.Call)
+			if spawned == nil {
+				return true // dynamic or external target: no claim
+			}
+			ev := gatherLeakEvidence(p.Graph, spawned)
+			if ev.terminates() {
+				return true
+			}
+			p.Reportf(g.Pos(),
+				"goroutine %s has no termination path visible through the call graph: no WaitGroup.Done, channel receive/select, or channel range; tie it to a context, close-channel or WaitGroup (see testutil.CheckLeaks)",
+				spawned.Name)
+			return true
+		})
+	}
+}
+
+// spawnedNode resolves a go statement's call to the graph node that will
+// run as the goroutine, or nil when the target is unresolvable.
+func spawnedNode(g *callgraph.Graph, info *types.Info, call *ast.CallExpr) *callgraph.Node {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return g.LitNode(fun)
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+	}
+	return nil
+}
+
+// leakEvidence is what the transitive body scan found.
+type leakEvidence struct {
+	wgDone  bool // calls (*sync.WaitGroup).Done
+	receive bool // channel receive or select
+	chRange bool // ranges over a (closeable) channel
+	loops   bool // contains any loop
+}
+
+func (e leakEvidence) terminates() bool {
+	return e.wgDone || e.receive || e.chRange || !e.loops
+}
+
+// gatherLeakEvidence scans the spawned function and every module
+// function it statically calls.
+func gatherLeakEvidence(g *callgraph.Graph, start *callgraph.Node) leakEvidence {
+	var ev leakEvidence
+	g.Transitive(start, false, func(n *callgraph.Node) {
+		if n.Body == nil {
+			return
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				return false
+			}
+			switch x := x.(type) {
+			case *ast.UnaryExpr:
+				if x.Op.String() == "<-" {
+					ev.receive = true
+				}
+			case *ast.SelectStmt:
+				ev.receive = true
+			case *ast.ForStmt:
+				ev.loops = true
+			case *ast.RangeStmt:
+				ev.loops = true
+				if t := info.TypeOf(x.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan && !neverClosedChan(info, x.X) {
+						ev.chRange = true
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc2(info, x); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+					ev.wgDone = true
+				}
+			}
+			return true
+		})
+	})
+	return ev
+}
+
+// neverClosedChan reports whether the channel expression is a ticker
+// stream the runtime never closes: a time.Tick(...) call or the C field
+// of a time.Ticker.
+func neverClosedChan(info *types.Info, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc2(info, e)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Tick"
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		t := info.TypeOf(e.X)
+		for {
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Ticker"
+	}
+	return false
+}
+
+// calleeFunc2 is calleeFunc against an explicit *types.Info (the module
+// analyzers work per call-graph node, not per Pass).
+func calleeFunc2(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

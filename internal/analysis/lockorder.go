@@ -1,0 +1,541 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hvac/internal/analysis/callgraph"
+)
+
+// LockOrder is the interprocedural deadlock analyzer. It summarises, per
+// function, which locks are acquired and which calls are made while a
+// lock is held, propagates the summaries over the call graph, and
+// reports:
+//
+//   - cycles in the global lock-ordering graph (lock B acquired while A
+//     is held in one place, A while B in another — the classic ABBA
+//     deadlock, including orders established only through calls);
+//   - a write-lock re-acquired on the same expression while already held
+//     (self-deadlock);
+//   - locks held across calls that (transitively) block on the transport
+//     — a stalled peer then pins the lock for the whole call deadline.
+//
+// Locks are identified by their declaring object (the mutex field or
+// variable), so every instance of core.Server.mu is one lock class. The
+// path simulation mirrors locksafe's: branch bodies get cloned state and
+// are not merged back, keeping the analysis approximate in the
+// low-false-positive direction.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock-ordering cycles, self-deadlocks, and locks held across blocking transport calls",
+	RunModule: runLockOrder,
+}
+
+// blockingTransportFuncs are the internal/transport entry points that
+// block on the network: RPC round-trips and raw frame I/O.
+var blockingTransportFuncs = map[string]bool{
+	"Call": true, "Ping": true,
+	"ReadRequest": true, "ReadResponse": true,
+	"WriteRequest": true, "WriteResponse": true,
+}
+
+func isBlockingTransport(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "hvac/internal/transport" && blockingTransportFuncs[fn.Name()]
+}
+
+// lockRef is one classified Lock/RLock/Unlock/RUnlock call.
+type lockRef struct {
+	obj  *types.Var // declaring mutex field or variable; nil if unresolvable
+	key  string     // printed lock expression, "/R" appended for the read side
+	expr string     // printed lock expression
+	disp string     // human-readable lock name, e.g. (core.Server).mu
+	lock bool       // acquire vs release
+	read bool       // RLock/RUnlock
+	pos  token.Pos
+}
+
+// classifyLockRef recognises <expr>.Lock/RLock/Unlock/RUnlock() where the
+// method belongs to package sync, and resolves the lock's identity.
+func classifyLockRef(info *types.Info, call *ast.CallExpr) (lockRef, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockRef{}, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockRef{}, false
+	}
+	ref := lockRef{expr: types.ExprString(sel.X), pos: call.Pos()}
+	ref.key = ref.expr
+	switch fn.Name() {
+	case "Lock":
+		ref.lock = true
+	case "RLock":
+		ref.lock, ref.read = true, true
+		ref.key += "/R"
+	case "Unlock":
+	case "RUnlock":
+		ref.read = true
+		ref.key += "/R"
+	default:
+		return lockRef{}, false
+	}
+	ref.obj, ref.disp = lockIdentity(info, ast.Unparen(sel.X))
+	return ref, true
+}
+
+// lockIdentity resolves the lock expression to its declaring object and a
+// display name. Fields display as (pkg.Type).field, variables as pkg.var.
+func lockIdentity(info *types.Info, expr ast.Expr) (*types.Var, string) {
+	qual := func(p *types.Package) string { return p.Name() }
+	switch e := expr.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		if v == nil {
+			return nil, e.Name
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+		return v, v.Name()
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		if v == nil {
+			return nil, types.ExprString(e)
+		}
+		recv := info.TypeOf(e.X)
+		for {
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+				continue
+			}
+			break
+		}
+		if recv != nil {
+			return v, "(" + types.TypeString(recv, qual) + ")." + v.Name()
+		}
+		return v, types.ExprString(e)
+	}
+	return nil, types.ExprString(expr)
+}
+
+// loCallSite is one call expression reached with locks held.
+type loCallSite struct {
+	call *ast.CallExpr
+	held []lockRef
+}
+
+// loPair is one observed acquisition order: to acquired while from held.
+type loPair struct {
+	from, to         *types.Var
+	fromDisp, toDisp string
+	pos              token.Pos
+	via              string // callee name for call-propagated pairs, "" for direct
+}
+
+// loLocal is one function's lock summary before propagation.
+type loLocal struct {
+	acquires map[*types.Var]string // lock -> display
+	pairs    []loPair
+	calls    []loCallSite
+}
+
+type loWalker struct {
+	p     *ModulePass
+	info  *types.Info
+	node  *callgraph.Node
+	local *loLocal
+}
+
+type loHeldState struct {
+	held map[string]lockRef
+}
+
+func (st *loHeldState) clone() *loHeldState {
+	c := &loHeldState{held: make(map[string]lockRef, len(st.held))}
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// heldRefs returns the held locks sorted by key for deterministic
+// snapshots.
+func (st *loHeldState) heldRefs() []lockRef {
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lockRef, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, st.held[k])
+	}
+	return out
+}
+
+// analyzeLockNode runs the local path simulation over one function body.
+func analyzeLockNode(p *ModulePass, node *callgraph.Node) *loLocal {
+	w := &loWalker{
+		p: p, info: node.Pkg.Info, node: node,
+		local: &loLocal{acquires: make(map[*types.Var]string)},
+	}
+	w.walkStmts(node.Body.List, &loHeldState{held: map[string]lockRef{}})
+	return w.local
+}
+
+func (w *loWalker) walkStmts(stmts []ast.Stmt, st *loHeldState) {
+	for _, s := range stmts {
+		w.walkStmt(s, st)
+	}
+}
+
+func (w *loWalker) walkStmt(s ast.Stmt, st *loHeldState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if ref, ok := classifyLockRef(w.info, call); ok {
+				w.applyLockOp(ref, st)
+				w.scanCalls(call, st) // nested calls in the lock's arguments
+				return
+			}
+		}
+		w.scanCalls(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanCalls(e, st)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.ReturnStmt:
+		w.scanCalls(s, st)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at function exit: the lock stays held
+		// for ordering purposes. Other deferred calls run with an unknown
+		// lock state and are skipped (low-false-positive direction).
+		if _, ok := classifyLockRef(w.info, s.Call); ok {
+			return
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently, not under our locks.
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanCalls(s.Cond, st)
+		w.walkStmts(s.Body.List, st.clone())
+		if s.Else != nil {
+			w.walkStmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanCalls(s.Cond, st)
+		}
+		w.walkStmts(s.Body.List, st.clone())
+	case *ast.RangeStmt:
+		w.scanCalls(s.X, st)
+		w.walkStmts(s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanCalls(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	}
+}
+
+// applyLockOp updates the held set for one lock/unlock and records
+// acquisition orderings against every currently-held lock.
+func (w *loWalker) applyLockOp(ref lockRef, st *loHeldState) {
+	if !ref.lock {
+		delete(st.held, ref.key)
+		return
+	}
+	for _, h := range st.heldRefs() {
+		if h.obj == nil || ref.obj == nil {
+			continue
+		}
+		if h.obj == ref.obj {
+			// Same lock class: a definite self-deadlock only when the
+			// expression names the same instance and the new acquire is a
+			// write lock.
+			if h.expr == ref.expr && !ref.read {
+				w.p.Reportf(ref.pos, "%s.Lock() while %s is already held (acquired at %s): self-deadlock",
+					ref.expr, h.expr, w.p.Fset.Position(h.pos))
+			}
+			continue
+		}
+		w.local.pairs = append(w.local.pairs, loPair{
+			from: h.obj, to: ref.obj,
+			fromDisp: h.disp, toDisp: ref.disp, pos: ref.pos,
+		})
+	}
+	if ref.obj != nil {
+		w.local.acquires[ref.obj] = ref.disp
+	}
+	st.held[ref.key] = ref
+}
+
+// scanCalls records every call expression under n that executes with the
+// current held set non-empty. Function literals own their calls; lock
+// operations are recorded by applyLockOp, not here.
+func (w *loWalker) scanCalls(n ast.Node, st *loHeldState) {
+	if len(st.held) == 0 || n == nil {
+		return
+	}
+	held := st.heldRefs()
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if _, ok := classifyLockRef(w.info, x); ok {
+				return true
+			}
+			w.local.calls = append(w.local.calls, loCallSite{call: x, held: held})
+		}
+		return true
+	})
+}
+
+// runLockOrder assembles the per-function summaries into the global
+// lock-ordering graph and reports the three violation classes.
+func runLockOrder(p *ModulePass) {
+	nodes := p.Graph.Nodes()
+	locals := make(map[*callgraph.Node]*loLocal)
+	for _, n := range nodes {
+		if n.Body != nil {
+			locals[n] = analyzeLockNode(p, n)
+		}
+	}
+
+	// Fixed point 1: which functions (transitively) block on the transport.
+	blocks := make(map[*callgraph.Node]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if blocks[n] {
+				continue
+			}
+			for _, e := range n.Out() {
+				if isBlockingTransport(e.Target) || (e.Callee != nil && blocks[e.Callee]) {
+					blocks[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Fixed point 2: the set of locks each function may acquire,
+	// transitively.
+	summary := make(map[*callgraph.Node]map[*types.Var]string)
+	for n, local := range locals {
+		s := make(map[*types.Var]string, len(local.acquires))
+		for obj, disp := range local.acquires {
+			s[obj] = disp
+		}
+		summary[n] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			s := summary[n]
+			if s == nil {
+				continue
+			}
+			for _, e := range n.Out() {
+				for obj, disp := range summary[e.Callee] {
+					if _, ok := s[obj]; !ok {
+						s[obj] = disp
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Report locks held across blocking transport calls, and extend the
+	// ordering graph with call-propagated acquisition pairs.
+	var pairs []loPair
+	for _, n := range nodes {
+		local := locals[n]
+		if local == nil {
+			continue
+		}
+		pairs = append(pairs, local.pairs...)
+		siteEdges := make(map[*ast.CallExpr][]*callgraph.Edge)
+		for _, e := range n.Out() {
+			siteEdges[e.Site] = append(siteEdges[e.Site], e)
+		}
+		for _, cs := range local.calls {
+			edges := siteEdges[cs.call]
+			blocking := false
+			calleeName := ""
+			for _, e := range edges {
+				if isBlockingTransport(e.Target) || (e.Callee != nil && blocks[e.Callee]) {
+					blocking = true
+					if e.Target != nil {
+						calleeName = e.Target.FullName()
+					} else if e.Callee != nil {
+						calleeName = e.Callee.Name
+					}
+					break
+				}
+			}
+			if blocking {
+				names := make([]string, 0, len(cs.held))
+				for _, h := range cs.held {
+					names = append(names, h.disp)
+				}
+				p.Reportf(cs.call.Pos(),
+					"%s held across a call to %s, which blocks on the transport; a stalled peer pins the lock for the whole call deadline — release before the call",
+					strings.Join(names, ", "), calleeName)
+			}
+			for _, e := range edges {
+				if e.Callee == nil {
+					continue
+				}
+				callee := e.Callee
+				objs := make([]*types.Var, 0, len(summary[callee]))
+				for obj := range summary[callee] {
+					objs = append(objs, obj)
+				}
+				sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+				for _, obj := range objs {
+					disp := summary[callee][obj]
+					for _, h := range cs.held {
+						if h.obj == nil || h.obj == obj {
+							continue // same lock class through a call: instance-ambiguous
+						}
+						pairs = append(pairs, loPair{
+							from: h.obj, to: obj,
+							fromDisp: h.disp, toDisp: disp,
+							pos: cs.call.Pos(), via: callee.Name,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	reportLockCycles(p, pairs)
+}
+
+// reportLockCycles finds strongly connected components of the global
+// lock-ordering graph and reports every edge inside a component: those
+// are exactly the acquisition sites that close an ABBA cycle.
+func reportLockCycles(p *ModulePass, pairs []loPair) {
+	// Dedup edges by (from, to), keeping the first witness.
+	type edgeKey struct{ from, to *types.Var }
+	edges := make(map[edgeKey]loPair)
+	var order []edgeKey
+	for _, pr := range pairs {
+		k := edgeKey{pr.from, pr.to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = pr
+			order = append(order, k)
+		}
+	}
+	adj := make(map[*types.Var][]*types.Var)
+	var lockOrderNodes []*types.Var
+	seen := make(map[*types.Var]bool)
+	for _, k := range order {
+		adj[k.from] = append(adj[k.from], k.to)
+		for _, v := range []*types.Var{k.from, k.to} {
+			if !seen[v] {
+				seen[v] = true
+				lockOrderNodes = append(lockOrderNodes, v)
+			}
+		}
+	}
+
+	// Tarjan SCC.
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	comp := make(map[*types.Var]int)
+	var stack []*types.Var
+	next, compID := 0, 0
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = compID
+				if w == v {
+					break
+				}
+			}
+			compID++
+		}
+	}
+	for _, v := range lockOrderNodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	for _, k := range order {
+		if k.from == k.to || comp[k.from] != comp[k.to] || compSize[comp[k.from]] < 2 {
+			continue
+		}
+		pr := edges[k]
+		via := ""
+		if pr.via != "" {
+			via = " (through the call to " + pr.via + ")"
+		}
+		p.Reportf(pr.pos,
+			"lock-ordering cycle: %s acquired while %s is held%s, but elsewhere the opposite order occurs; pick one global order",
+			pr.toDisp, pr.fromDisp, via)
+	}
+}

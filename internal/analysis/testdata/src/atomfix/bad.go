@@ -1,0 +1,22 @@
+package atomfix
+
+import "sync/atomic"
+
+type counterBad struct {
+	hits int64
+}
+
+// incr commits hits to sync/atomic access...
+func (c *counterBad) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ...so the plain load here races with it.
+func (c *counterBad) snapshot() int64 {
+	return c.hits // want "hits is accessed with sync/atomic at .* but with a plain load/store here"
+}
+
+// reset races on the store side.
+func (c *counterBad) reset() {
+	c.hits = 0 // want "hits is accessed with sync/atomic at .* but with a plain load/store here"
+}

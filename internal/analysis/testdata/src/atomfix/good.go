@@ -1,0 +1,35 @@
+package atomfix
+
+import "sync/atomic"
+
+// counterGood uses the typed atomic: a plain access of the value is
+// unrepresentable.
+type counterGood struct {
+	hits atomic.Int64
+	name string
+}
+
+func (c *counterGood) incr() {
+	c.hits.Add(1)
+}
+
+func (c *counterGood) snapshot() int64 {
+	return c.hits.Load()
+}
+
+func (c *counterGood) label() string {
+	return c.name
+}
+
+// rawGood keeps every access of the raw field atomic.
+type rawGood struct {
+	n int64
+}
+
+func (r *rawGood) incr() {
+	atomic.AddInt64(&r.n, 1)
+}
+
+func (r *rawGood) load() int64 {
+	return atomic.LoadInt64(&r.n)
+}

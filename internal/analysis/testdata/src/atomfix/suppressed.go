@@ -1,0 +1,18 @@
+package atomfix
+
+import "sync/atomic"
+
+type counterSup struct {
+	n int64
+}
+
+func (c *counterSup) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// lastReport reads the counter during single-threaded shutdown, after
+// every writer has been joined.
+func (c *counterSup) lastReport() int64 {
+	//hvaclint:ignore atomicmix read runs after shutdown joins every writer; no concurrent access remains
+	return c.n
+}

@@ -1,0 +1,36 @@
+package gorofix
+
+import "time"
+
+// tickForever spins on a channel the runtime never closes: nothing can
+// stop it.
+func tickForever(d time.Duration) {
+	go func() { // want "goroutine .* has no termination path"
+		for range time.Tick(d) {
+			step()
+		}
+	}()
+}
+
+// tickerForever is the same leak through an explicit Ticker: its C is
+// never closed either.
+func tickerForever(t *time.Ticker) {
+	go func() { // want "goroutine .* has no termination path"
+		for range t.C {
+			step()
+		}
+	}()
+}
+
+// spin loops unconditionally with no receive, select, or WaitGroup.
+func spin() {
+	for {
+		step()
+	}
+}
+
+func spawnSpin() {
+	go spin() // want "goroutine .* has no termination path"
+}
+
+func step() {}

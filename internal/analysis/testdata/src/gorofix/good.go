@@ -1,0 +1,61 @@
+package gorofix
+
+import (
+	"sync"
+	"time"
+)
+
+// stoppable parks on a select with a stop channel: close(stop) ends it.
+func stoppable(stop <-chan struct{}, d time.Duration) {
+	go func() {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				step()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// joined signals a WaitGroup its spawner waits on.
+func joined(wg *sync.WaitGroup, work []int) {
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			step()
+		}()
+	}
+	wg.Wait()
+}
+
+// drains exits when the producer closes the channel.
+func drains(ch <-chan int) {
+	go func() {
+		for range ch {
+			step()
+		}
+	}()
+}
+
+// spawnOneShot runs a straight-line body: it terminates by construction.
+func spawnOneShot() {
+	go step()
+}
+
+// waitLoop's termination path (the receive) is one call away; the
+// analyzer sees it through the call graph.
+func waitLoop(stop <-chan struct{}) {
+	for {
+		<-stop
+		return
+	}
+}
+
+func spawnHelper(stop <-chan struct{}) {
+	go waitLoop(stop)
+}

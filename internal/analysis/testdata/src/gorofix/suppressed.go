@@ -1,0 +1,12 @@
+package gorofix
+
+// background runs for the process lifetime by design: nothing restarts
+// it, and process exit tears it down.
+func background() {
+	//hvaclint:ignore goroleak process-lifetime pump; torn down only by process exit
+	go func() {
+		for {
+			step()
+		}
+	}()
+}

@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+type respBad struct {
+	Size uint64
+}
+
+// readBody sizes the allocation straight off the wire: a corrupt frame
+// picks the allocation.
+func readBody(r io.Reader, rs *respBad) ([]byte, error) {
+	buf := make([]byte, rs.Size) // want "make size .* derives from a wire-decoded length"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// readFrame decodes the length itself and trusts it.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, n) // want "make size .* derives from a wire-decoded length"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// bodyLen launders the wire length through a helper; the call graph
+// carries the taint back.
+func bodyLen(rs *respBad) int {
+	return int(rs.Size)
+}
+
+func readChained(r io.Reader, rs *respBad) ([]byte, error) {
+	n := bodyLen(rs)
+	buf := make([]byte, n) // want "make size .* derives from a wire-decoded length"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// copyBody streams a peer-chosen number of bytes.
+func copyBody(w io.Writer, r io.Reader, rs *respBad) error {
+	_, err := io.CopyN(w, r, int64(rs.Size)) // want "io.CopyN size .* derives from a wire-decoded length"
+	return err
+}
+
+// fillHeader reslices a buffer to a peer-chosen length.
+func fillHeader(r io.Reader, buf []byte, rs *respBad) error {
+	n := int(rs.Size)
+	_, err := io.ReadFull(r, buf[:n]) // want "io.ReadFull size .* derives from a wire-decoded length"
+	return err
+}

@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxBody = 1 << 20
+
+type respGood struct {
+	Size uint64
+}
+
+// readBodyChecked clamps the wire length before allocating.
+func readBodyChecked(r io.Reader, rs *respGood) ([]byte, error) {
+	if rs.Size > maxBody {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, rs.Size)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// readFrameChecked bounds the decoded length before trusting it.
+func readFrameChecked(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxBody {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// fixedAlloc has no wire-derived size at all.
+func fixedAlloc() []byte {
+	return make([]byte, 64)
+}

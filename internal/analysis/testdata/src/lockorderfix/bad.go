@@ -1,0 +1,57 @@
+package lockorderfix
+
+import (
+	"sync"
+
+	"hvac/internal/transport"
+)
+
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// lockAB and lockBA close the classic ABBA deadlock: each waits for the
+// lock the other holds.
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want "lock-ordering cycle: .* acquired while .* is held"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock() // want "lock-ordering cycle: .* acquired while .* is held"
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// double re-acquires the very lock it already holds.
+func double(p *pair) {
+	p.a.Lock()
+	p.a.Lock() // want "self-deadlock"
+	p.n++
+	p.a.Unlock()
+	p.a.Unlock()
+}
+
+// heldAcross pins the mutex for the whole network round-trip.
+func heldAcross(p *pair, c *transport.Client) error {
+	p.a.Lock()
+	defer p.a.Unlock()
+	return c.Ping() // want "held across a call to .*Ping.* blocks on the transport"
+}
+
+// pingHelper makes heldAcrossIndirect block one call away.
+func pingHelper(c *transport.Client) error {
+	return c.Ping()
+}
+
+func heldAcrossIndirect(p *pair, c *transport.Client) error {
+	p.b.Lock()
+	defer p.b.Unlock()
+	return pingHelper(c) // want "held across a call to .*pingHelper.* blocks on the transport"
+}

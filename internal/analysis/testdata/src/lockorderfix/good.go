@@ -1,0 +1,50 @@
+package lockorderfix
+
+import (
+	"sync"
+
+	"hvac/internal/transport"
+)
+
+type state struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// consistentOne and consistentTwo always take a before b: one global
+// order, no cycle.
+func consistentOne(s *state) {
+	s.a.Lock()
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func consistentTwo(s *state) {
+	s.a.Lock()
+	s.b.Lock()
+	s.n--
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// releaseFirst drops the lock before the blocking round-trip.
+func releaseFirst(s *state, c *transport.Client) error {
+	s.a.Lock()
+	s.n++
+	s.a.Unlock()
+	return c.Ping()
+}
+
+type rstate struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// readers may re-enter the read side of an RWMutex.
+func readNested(r *rstate) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}

@@ -1,0 +1,21 @@
+package lockorderfix
+
+import (
+	"sync"
+
+	"hvac/internal/transport"
+)
+
+type guard struct {
+	mu sync.Mutex
+}
+
+// flushUnderLock intentionally holds the lock across the round-trip: the
+// client's call deadline bounds the hold time and the lock protects
+// exactly the in-flight frame.
+func flushUnderLock(g *guard, c *transport.Client) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//hvaclint:ignore lockorder call deadline bounds the hold time; the lock serialises the in-flight frame by design
+	return c.Ping()
+}

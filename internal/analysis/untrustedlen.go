@@ -1,0 +1,362 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hvac/internal/analysis/callgraph"
+)
+
+// UntrustedLen tracks dataflow from wire-decoded length fields in
+// internal/transport (Request.Len/Off, Response.Size, and raw
+// binary.*Endian.UintN decodes in that package) to allocation and read
+// sizes — make, io.CopyN, io.ReadFull on a resliced buffer — that are
+// reached without a bounds check. A corrupt or hostile frame then picks
+// the allocation size, which is the DoS the faultnet Corrupter probes
+// dynamically; this analyzer proves the absence of the path statically.
+//
+// Taint propagates through assignments, struct fields, composite
+// literals, arithmetic, conversions, and (via the call graph) function
+// results. A comparison against a tainted value in an if condition
+// before the sink sanitizes it.
+var UntrustedLen = &Analyzer{
+	Name:      "untrustedlen",
+	Doc:       "wire-decoded lengths reaching make/io.ReadFull sizes without a bounds check",
+	RunModule: runUntrustedLen,
+}
+
+const transportPathSuffix = "internal/transport"
+
+// ulState is the module-wide fixed point: which fields carry untrusted
+// lengths, which functions return them, and each function's tainted
+// locals.
+type ulState struct {
+	pass    *ModulePass
+	fields  map[*types.Var]bool      // tainted struct fields (seeded from transport)
+	returns map[*callgraph.Node]bool // functions whose result is tainted
+	locals  map[*callgraph.Node]map[*types.Var]bool
+	changed bool
+}
+
+func runUntrustedLen(p *ModulePass) {
+	st := &ulState{
+		pass:    p,
+		fields:  seedTransportFields(p),
+		returns: make(map[*callgraph.Node]bool),
+		locals:  make(map[*callgraph.Node]map[*types.Var]bool),
+	}
+	if len(st.fields) == 0 {
+		return // no transport package in scope: nothing is untrusted
+	}
+	for _, n := range p.Graph.Nodes() {
+		st.locals[n] = make(map[*types.Var]bool)
+	}
+	// Propagate until no new field, local, or return taint appears. Each
+	// round re-walks every body, so taint crosses package boundaries in
+	// whichever direction the call graph runs.
+	for {
+		st.changed = false
+		for _, n := range p.Graph.Nodes() {
+			if n.Body != nil {
+				st.propagate(n)
+			}
+		}
+		if !st.changed {
+			break
+		}
+	}
+	for _, n := range p.Graph.Nodes() {
+		if n.Body != nil {
+			st.reportSinks(n)
+		}
+	}
+}
+
+// seedTransportFields marks the wire-decoded integer length fields of the
+// transport package's exported structs as taint sources.
+func seedTransportFields(p *ModulePass) map[*types.Var]bool {
+	seeds := make(map[*types.Var]bool)
+	var tpkgs []*types.Package
+	for _, pkg := range p.Pkgs {
+		if strings.HasSuffix(pkg.ImportPath, transportPathSuffix) {
+			tpkgs = append(tpkgs, pkg.Types)
+		}
+	}
+	if len(tpkgs) == 0 {
+		if t := p.FindPackage("hvac/" + transportPathSuffix); t != nil {
+			tpkgs = append(tpkgs, t)
+		}
+	}
+	for _, tpkg := range tpkgs {
+		if tpkg == nil {
+			continue
+		}
+		scope := tpkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			strct, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < strct.NumFields(); i++ {
+				f := strct.Field(i)
+				switch f.Name() {
+				case "Len", "Off", "Size":
+					if basic, ok := f.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+						seeds[f] = true
+					}
+				}
+			}
+		}
+	}
+	return seeds
+}
+
+// propagate runs one round of taint propagation over n's body.
+func (st *ulState) propagate(n *callgraph.Node) {
+	info := n.Pkg.Info
+	local := st.locals[n]
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break // multi-value RHS: no claim
+				}
+				if !st.tainted(n, x.Rhs[i]) {
+					continue
+				}
+				st.taintTarget(info, local, lhs)
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if i < len(x.Values) && st.tainted(n, x.Values[i]) {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						st.mark(local, v)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			st.taintCompositeLit(n, x)
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if st.tainted(n, res) && !st.returns[n] {
+					st.returns[n] = true
+					st.changed = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintTarget marks an assignment target: a local variable or a struct
+// field (which taints the field module-wide).
+func (st *ulState) taintTarget(info *types.Info, local map[*types.Var]bool, lhs ast.Expr) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			st.mark(local, v)
+		} else if v, ok := info.Uses[e].(*types.Var); ok {
+			st.mark(local, v)
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			st.markField(v)
+		}
+	}
+}
+
+// taintCompositeLit taints struct fields initialized from tainted values,
+// e.g. &File{size: int64(resp.Size)}.
+func (st *ulState) taintCompositeLit(n *callgraph.Node, lit *ast.CompositeLit) {
+	info := n.Pkg.Info
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	strct, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || !st.tainted(n, kv.Value) {
+				continue
+			}
+			if v, ok := info.Uses[key].(*types.Var); ok {
+				st.markField(v)
+			}
+		} else if i < strct.NumFields() && st.tainted(n, elt) {
+			st.markField(strct.Field(i))
+		}
+	}
+}
+
+func (st *ulState) mark(local map[*types.Var]bool, v *types.Var) {
+	if v.IsField() {
+		st.markField(v)
+		return
+	}
+	if !local[v] {
+		local[v] = true
+		st.changed = true
+	}
+}
+
+func (st *ulState) markField(v *types.Var) {
+	if !st.fields[v] {
+		st.fields[v] = true
+		st.changed = true
+	}
+}
+
+// tainted reports whether the expression carries an untrusted length in
+// node n.
+func (st *ulState) tainted(n *callgraph.Node, expr ast.Expr) bool {
+	info := n.Pkg.Info
+	local := st.locals[n]
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return local[v] || (v.IsField() && st.fields[v])
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return st.fields[v]
+		}
+	case *ast.BinaryExpr:
+		return st.tainted(n, e.X) || st.tainted(n, e.Y)
+	case *ast.CallExpr:
+		// Conversion: int64(x) carries x's taint.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return st.tainted(n, e.Args[0])
+		}
+		if fn := calleeFunc2(info, e); fn != nil {
+			// Raw wire decode inside the transport package.
+			if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" &&
+				strings.HasPrefix(fn.Name(), "Uint") &&
+				strings.HasSuffix(n.Pkg.Path, transportPathSuffix) {
+				return true
+			}
+			if callee := st.pass.Graph.NodeOf(fn); callee != nil {
+				return st.returns[callee]
+			}
+		}
+	}
+	return false
+}
+
+// lenCheck records a comparison over an object in an if condition; a
+// later sink over the same object counts as bounds-checked.
+type lenCheck struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// reportSinks scans n for make/io.CopyN/io.ReadFull sites fed by tainted
+// lengths with no prior comparison on the same variable.
+func (st *ulState) reportSinks(n *callgraph.Node) {
+	info := n.Pkg.Info
+	var checks []lenCheck
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.IfStmt:
+			ast.Inspect(x.Cond, func(y ast.Node) bool {
+				if v := exprVar(info, y); v != nil {
+					checks = append(checks, lenCheck{obj: v, pos: x.Pos()})
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			st.checkSink(n, x, checks)
+		}
+		return true
+	})
+}
+
+// checkSink reports one sink call if any of its size arguments is tainted
+// and unchecked.
+func (st *ulState) checkSink(n *callgraph.Node, call *ast.CallExpr, checks []lenCheck) {
+	info := n.Pkg.Info
+	var sizeArgs []ast.Expr
+	var what string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "make" && len(call.Args) >= 2 {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				sizeArgs, what = call.Args[1:], "make"
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "io" {
+			break
+		}
+		switch fn.Name() {
+		case "CopyN":
+			if len(call.Args) == 3 {
+				sizeArgs, what = call.Args[2:], "io.CopyN"
+			}
+		case "ReadFull", "ReadAtLeast":
+			// The read size is the buffer length: flag buf[:n] reslices.
+			if len(call.Args) >= 2 {
+				if sl, ok := ast.Unparen(call.Args[1]).(*ast.SliceExpr); ok && sl.High != nil {
+					sizeArgs, what = []ast.Expr{sl.High}, "io."+fn.Name()
+				}
+			}
+		}
+	}
+	for _, arg := range sizeArgs {
+		if !st.tainted(n, arg) || st.checked(info, arg, checks, call.Pos()) {
+			continue
+		}
+		st.pass.Reportf(call.Pos(),
+			"%s size %s derives from a wire-decoded length without a bounds check; compare it against a limit (e.g. transport.MaxFrame) before this call",
+			what, types.ExprString(arg))
+	}
+}
+
+// checked reports whether some variable of the sink argument appears in
+// an if-condition comparison before the sink.
+func (st *ulState) checked(info *types.Info, arg ast.Expr, checks []lenCheck, sink token.Pos) bool {
+	ok := false
+	ast.Inspect(arg, func(y ast.Node) bool {
+		v := exprVar(info, y)
+		if v == nil {
+			return true
+		}
+		for _, c := range checks {
+			if c.obj == v && c.pos < sink {
+				ok = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// exprVar resolves an identifier node to its variable object, or nil.
+func exprVar(info *types.Info, x ast.Node) *types.Var {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}

@@ -451,11 +451,40 @@ func (c *Client) ReadAll(path string) ([]byte, error) {
 		return nil, err
 	}
 	defer f.Close()
+	// The size came off the wire (Response.Size): bound it before letting
+	// it pick the allocation. Oversized or nonsensical values fall back to
+	// the chunked path, which grows the buffer only as data arrives.
 	size := f.Size()
+	if size < 0 || size > transport.MaxFrame {
+		return readAllChunked(f)
+	}
 	buf := make([]byte, size)
 	n, err := f.ReadAt(buf, 0)
 	if err != nil && err != io.EOF {
 		return buf[:n], err
 	}
 	return buf[:n], nil
+}
+
+// readAllChunked reads f in MaxFrame-sized chunks, growing the result as
+// bytes actually arrive, so a corrupt or hostile size field never commits
+// a huge up-front allocation.
+func readAllChunked(f *File) ([]byte, error) {
+	var buf []byte
+	chunk := make([]byte, transport.MaxFrame)
+	var off int64
+	for {
+		n, err := f.ReadAt(chunk, off)
+		buf = append(buf, chunk[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+		if n == 0 {
+			return buf, nil
+		}
+	}
 }

@@ -20,8 +20,10 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-echo '--- go run ./cmd/hvaclint ./...'
-go run ./cmd/hvaclint ./...
+# -stats prints per-analyzer finding counts, so a gate failure names the
+# rule that tripped it.
+echo '--- go run ./cmd/hvaclint -stats ./...'
+go run ./cmd/hvaclint -stats ./...
 
 echo '--- go test -race ./...'
 go test -race ./...

@@ -1,0 +1,61 @@
+// Command lintannotations converts hvaclint -format json output into
+// GitHub Actions workflow commands, so lint findings surface as inline
+// annotations on pull requests:
+//
+//	go run ./cmd/hvaclint -format json ./... > lint.json || true
+//	go run ./scripts/lintannotations.go lint.json
+//
+// Unsuppressed findings become ::error annotations; suppressed ones
+// become ::notice annotations (visible for auditing, never gating). The
+// exit status is always 0 — gating stays with hvaclint itself in
+// check.sh.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type finding struct {
+	Rule string `json:"rule"`
+	Pos  struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+	} `json:"pos"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// escape applies GitHub's workflow-command data escaping.
+func escape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintannotations <lint.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintannotations:", err)
+		os.Exit(2)
+	}
+	var findings []finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		fmt.Fprintln(os.Stderr, "lintannotations:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		level := "error"
+		if f.Suppressed {
+			level = "notice"
+		}
+		fmt.Printf("::%s file=%s,line=%d,col=%d,title=hvaclint %s::%s\n",
+			level, escape(f.Pos.File), f.Pos.Line, f.Pos.Col, escape(f.Rule), escape(f.Message))
+	}
+}
