@@ -27,5 +27,7 @@ chaos:
 	$(GO) test -race -shuffle=on -v ./internal/faultnet ./internal/testutil
 	$(GO) test -race -shuffle=on -v -run 'Retry|Call|TimedOut|Truncated' ./internal/transport
 
+# The short hot-path benchmark tier: fixed iteration counts, results (and
+# the committed pre-pooling baseline) land in BENCH_PR4.json.
 bench:
-	$(GO) test -bench=. -benchmem
+	./scripts/bench.sh

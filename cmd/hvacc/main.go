@@ -1,0 +1,141 @@
+// Command hvacc is the real-mode HVAC client CLI: it reads dataset files
+// through a running hvacd deployment the way a training job's loader
+// would, and reports throughput and client-side counters. It doubles as
+// the quickest way to eyeball the effect of the client tunables — the
+// per-server connection pool size and the sequential-read pipeline.
+//
+// Usage:
+//
+//	hvacc -servers host1:7070,host2:7070 -dataset /gpfs/dataset read /gpfs/dataset/*.rec
+//	hvacc -servers host1:7070 -dataset /gpfs/dataset -epochs 3 -workers 8 read /gpfs/dataset/*.rec
+//	hvacc -servers host1:7070 -dataset /gpfs/dataset cat /gpfs/dataset/f0001.rec > local.rec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hvac"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `hvacc: commands
+  read <path>...   read every file through HVAC and report throughput
+  cat <path>       stream one file to stdout (sequential reads, exercises readahead)`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	var (
+		servers   = flag.String("servers", "", "comma-separated hvacd addresses (required)")
+		dataset   = flag.String("dataset", "", "dataset dir whose reads are redirected (required)")
+		poolSize  = flag.Int("pool-size", 0, "idle TCP connections kept per server link; size to the loader worker count (0 = transport default, negative = no pooling)")
+		readahead = flag.Int("readahead", 0, "sequential-read pipeline depth for cat (0 = default on, negative = off)")
+		segSize   = flag.Int64("segment-size", 0, "segment size in bytes for segment-level caching; must match the servers (0 = whole-file)")
+		epochs    = flag.Int("epochs", 1, "number of passes over the file list (epoch 2+ should run at cache speed)")
+		workers   = flag.Int("workers", 4, "concurrent reader goroutines for read")
+		callTO    = flag.Duration("call-timeout", 5*time.Second, "per-RPC deadline (0 = transport default, negative = disabled)")
+		retries   = flag.Int("retries", 0, "per-RPC attempt budget, first try included (0 = transport default)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if *servers == "" || *dataset == "" || flag.NArg() < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	paths := flag.Args()[1:]
+
+	cli, err := hvac.NewClient(hvac.ClientConfig{
+		Servers:       strings.Split(*servers, ","),
+		DatasetDir:    *dataset,
+		SegmentSize:   *segSize,
+		CallTimeout:   *callTO,
+		RetryAttempts: *retries,
+		PoolSize:      *poolSize,
+		Readahead:     *readahead,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvacc: %v\n", err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+
+	switch cmd {
+	case "read":
+		var bytes, fails atomic.Int64
+		start := time.Now()
+		for e := 0; e < *epochs; e++ {
+			epochStart := time.Now()
+			var wg sync.WaitGroup
+			next := make(chan string)
+			for w := 0; w < *workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for p := range next {
+						data, err := cli.ReadAll(p)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "hvacc: read %s: %v\n", p, err)
+							fails.Add(1)
+							continue
+						}
+						bytes.Add(int64(len(data)))
+					}
+				}()
+			}
+			for _, p := range paths {
+				next <- p
+			}
+			close(next)
+			wg.Wait()
+			fmt.Printf("epoch %d: %d files in %v\n", e+1, len(paths), time.Since(epochStart).Round(time.Millisecond))
+		}
+		elapsed := time.Since(start)
+		mb := float64(bytes.Load()) / (1 << 20)
+		fmt.Printf("total: %.1f MiB in %v (%.1f MiB/s)\n", mb, elapsed.Round(time.Millisecond), mb/elapsed.Seconds())
+		printStats(cli)
+		if fails.Load() > 0 {
+			os.Exit(1)
+		}
+
+	case "cat":
+		if len(paths) != 1 {
+			usage()
+			os.Exit(2)
+		}
+		f, err := cli.Open(paths[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvacc: %v\n", err)
+			os.Exit(1)
+		}
+		_, err = io.Copy(os.Stdout, f)
+		cerr := f.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvacc: %v\n", err)
+			os.Exit(1)
+		}
+		printStats(cli)
+
+	default:
+		fmt.Fprintf(os.Stderr, "hvacc: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(cli *hvac.Client) {
+	st := cli.Stats()
+	fmt.Fprintf(os.Stderr,
+		"client: redirected=%d passthrough=%d fallbacks=%d degrades=%d failovers=%d retries=%d readaheads=%d readahead-hits=%d bytes=%d\n",
+		st.Redirected, st.Passthrough, st.Fallbacks, st.Degrades, st.Failovers, st.Retries, st.Readaheads, st.ReadaheadHits, st.BytesRead)
+}

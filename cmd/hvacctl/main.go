@@ -32,10 +32,11 @@ func usage() {
 
 func main() {
 	var (
-		servers = flag.String("servers", "", "comma-separated hvacd addresses (required)")
-		dataset = flag.String("dataset", "", "dataset dir for prefetch/home (default: inferred from first path)")
-		callTO  = flag.Duration("call-timeout", 5*time.Second, "per-RPC deadline; a hung server fails the call instead of hanging hvacctl (0 = transport default, negative = disabled)")
-		retries = flag.Int("retries", 0, "per-RPC attempt budget, first try included (0 = transport default)")
+		servers  = flag.String("servers", "", "comma-separated hvacd addresses (required)")
+		dataset  = flag.String("dataset", "", "dataset dir for prefetch/home (default: inferred from first path)")
+		callTO   = flag.Duration("call-timeout", 5*time.Second, "per-RPC deadline; a hung server fails the call instead of hanging hvacctl (0 = transport default, negative = disabled)")
+		retries  = flag.Int("retries", 0, "per-RPC attempt budget, first try included (0 = transport default)")
+		poolSize = flag.Int("pool-size", 0, "idle TCP connections kept per server link (0 = transport default, negative = no pooling)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 	opts := transport.ClientOptions{
 		CallTimeout: *callTO,
 		Retry:       transport.RetryPolicy{MaxAttempts: *retries},
+		PoolSize:    *poolSize,
 	}
 
 	switch cmd {
@@ -87,6 +89,7 @@ func main() {
 			DatasetDir:    dir,
 			CallTimeout:   *callTO,
 			RetryAttempts: *retries,
+			PoolSize:      *poolSize,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hvacctl: %v\n", err)
@@ -111,6 +114,7 @@ func main() {
 					continue
 				}
 				fmt.Printf("%s: %d bytes\n", p, resp.Size)
+				resp.Release()
 			}
 		case "prefetch":
 			accepted := cli.Prefetch(args)

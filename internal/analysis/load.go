@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -138,6 +141,35 @@ func (l *Loader) scan() error {
 	})
 }
 
+// buildTagOK reports whether a file's //go:build constraint (if any) is
+// satisfied by the default build context, mirroring the go tool's file
+// selection: GOOS, GOARCH, the compiler name and release tags are
+// satisfied; every other tag (race, integration, ...) is not. Files
+// without a constraint are always included.
+func buildTagOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // unparseable: let the type-checker complain
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == runtime.Compiler ||
+					slices.Contains(build.Default.ReleaseTags, tag) ||
+					slices.Contains(build.Default.BuildTags, tag)
+			})
+		}
+	}
+	return true
+}
+
 // Packages returns the import paths of every package in the module,
 // sorted.
 func (l *Loader) Packages() []string {
@@ -200,6 +232,9 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if !buildTagOK(f) {
+			continue
 		}
 		files = append(files, f)
 	}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func parseForTags(t *testing.T, src string) bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildTagOK(f)
+}
+
+func TestBuildTagSelection(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"none", "package p\n", true},
+		{"race", "//go:build race\n\npackage p\n", false},
+		{"notrace", "//go:build !race\n\npackage p\n", true},
+		{"goos", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"othergoos", "//go:build plan9\n\npackage p\n", runtime.GOOS == "plan9"},
+		{"release", "//go:build go1.18\n\npackage p\n", true},
+		{"combo", "//go:build !race && " + runtime.GOOS + "\n\npackage p\n", true},
+		{"custom", "//go:build integration\n\npackage p\n", false},
+		// A //go:build line after the package clause is not a constraint.
+		{"late", "package p\n\n//go:build race\n", true},
+	}
+	for _, c := range cases {
+		if got := parseForTags(t, c.src); got != c.want {
+			t.Errorf("%s: buildTagOK = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestLoaderSkipsMismatchedTagFiles: a package split across race/!race
+// variants (internal/testutil pattern) must load exactly one of the two,
+// not both (which would be a redeclaration error).
+func TestLoaderSkipsMismatchedTagFiles(t *testing.T) {
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	files := map[string]string{
+		"on.go":  "//go:build race\n\npackage p\n\nconst RaceEnabled = true\n",
+		"off.go": "//go:build !race\n\npackage p\n\nconst RaceEnabled = false\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := l.LoadDir(dir, "example.com/tagsplit")
+	if err != nil {
+		t.Fatalf("loading a race/!race split package: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (the !race variant)", len(pkg.Files))
+	}
+}

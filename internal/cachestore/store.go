@@ -14,11 +14,29 @@ import (
 // a flat directory on the node-local device, named by content-independent
 // key digest, with eviction driven by an Index. Store is safe for
 // concurrent use.
+//
+// Lock order: Store.mu may be held while taking the handle pool's lock
+// (eviction drops pooled handles); the reverse never happens — ReadAt
+// checks the index and releases Store.mu before touching the pool.
 type Store struct {
 	mu  sync.Mutex
 	dir string
 	ix  *Index
+	hp  *handlePool
 }
+
+// handlePoolSize bounds how many cache files Store.ReadAt keeps open for
+// reuse. Segment working sets larger than this still work; they just pay
+// the open again.
+const handlePoolSize = 128
+
+// copyBufPool recycles Put's copy buffers. 512 KiB per slot: large enough
+// to amortise syscalls on a GPFS-to-NVMe copy, small enough to pool
+// freely.
+var copyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 512<<10)
+	return &b
+}}
 
 // NewStore creates (if needed) dir and returns a store with the given
 // capacity and policy.
@@ -26,7 +44,7 @@ func NewStore(dir string, capacity int64, policy Policy) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cachestore: %w", err)
 	}
-	return &Store{dir: dir, ix: NewIndex(capacity, policy)}, nil
+	return &Store{dir: dir, ix: NewIndex(capacity, policy), hp: newHandlePool(handlePoolSize)}, nil
 }
 
 // Dir returns the backing directory.
@@ -60,6 +78,7 @@ func (s *Store) Put(key string, size int64, src io.Reader) error {
 	}
 	for _, victim := range evicted {
 		_ = os.Remove(s.pathFor(victim)) // eviction is best-effort; the index entry is already gone
+		s.hp.drop(victim)
 	}
 	// Hold our entry in the index while writing; pin it so a concurrent
 	// insert cannot evict the file mid-write.
@@ -78,7 +97,13 @@ func (s *Store) Put(key string, size int64, src io.Reader) error {
 		s.dropEntry(key)
 		return fmt.Errorf("cachestore: %w", err)
 	}
-	n, err := io.Copy(tmp, io.LimitReader(src, size))
+	// An explicit pooled buffer: the generic copy path would otherwise
+	// allocate per Put, and the PFS-to-NVMe copy is cross-filesystem, so
+	// there is no kernel splice to preserve. writerOnly hides tmp's
+	// ReadFrom so io.CopyBuffer actually uses the buffer.
+	bp := copyBufPool.Get().(*[]byte)
+	n, err := io.CopyBuffer(writerOnly{tmp}, io.LimitReader(src, size), *bp)
+	copyBufPool.Put(bp)
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -133,6 +158,31 @@ func (s *Store) Open(key string) (f *os.File, release func(), err error) {
 	return f, release, nil
 }
 
+// writerOnly masks every interface of an io.Writer except Write, forcing
+// io.CopyBuffer onto its explicit-buffer path.
+type writerOnly struct{ io.Writer }
+
+// ReadAt reads from the cached file for key at offset off through the
+// shared handle pool: a warm segment read costs one pread instead of an
+// open/pread/close triple. A miss (not cached, or evicted since the
+// caller's Contains check) returns an error; callers read through from
+// the PFS instead.
+func (s *Store) ReadAt(key string, p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	cached := s.ix.Contains(key)
+	s.mu.Unlock()
+	if !cached {
+		return 0, fmt.Errorf("cachestore: %s not cached", key)
+	}
+	pf, err := s.hp.acquire(key, func() (*os.File, error) { return os.Open(s.pathFor(key)) })
+	if err != nil {
+		return 0, err
+	}
+	n, err := pf.f.ReadAt(p, off)
+	s.hp.release(pf)
+	return n, err
+}
+
 // Size returns the cached size of key.
 func (s *Store) Size(key string) (int64, bool) {
 	s.mu.Lock()
@@ -166,6 +216,7 @@ func (s *Store) Stats() (hits, misses, evictions int64) {
 func (s *Store) Purge() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.hp.closeAll()
 	var first error
 	for _, k := range s.ix.Keys() {
 		if err := os.Remove(s.pathFor(k)); err != nil && first == nil {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hvac/internal/transport"
+)
+
+// Server-side hot-path benchmarks (ISSUE 4). BenchmarkHandleReadWarm
+// isolates the handler cost with no network; the concurrent benchmark
+// drives the whole stack — pooled frames, vectored writes, sharded
+// handle table, atomic stats — from parallel TCP clients.
+
+func benchServer(b *testing.B, fileSize int) (*Server, string) {
+	b.Helper()
+	pfsDir := b.TempDir()
+	p := filepath.Join(pfsDir, "f.bin")
+	content := make([]byte, fileSize)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	if err := os.WriteFile(p, content, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := StartServer(ServerConfig{
+		ListenAddr: "127.0.0.1:0",
+		PFSDir:     pfsDir,
+		CacheDir:   filepath.Join(b.TempDir(), "cache"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return srv, p
+}
+
+func BenchmarkHandleReadWarm(b *testing.B) {
+	srv, p := benchServer(b, 1<<20)
+	open := srv.handle(&transport.Request{Op: transport.OpOpen, Path: p})
+	if !open.OK() {
+		b.Fatal(open.Error())
+	}
+	srv.WaitIdle()
+	req := &transport.Request{Op: transport.OpRead, Handle: open.Handle, Len: 64 << 10}
+	b.ReportAllocs()
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := srv.handle(req)
+		if !resp.OK() {
+			b.Fatal(resp.Error())
+		}
+		resp.Release()
+	}
+}
+
+func BenchmarkConcurrentClientsRead(b *testing.B) {
+	srv, p := benchServer(b, 1<<20)
+
+	// Warm the cache so the measured epoch is the paper's steady state.
+	warm, err := NewClient(ClientConfig{Servers: []string{srv.Addr()}, DatasetDir: filepath.Dir(p)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.ReadAll(p); err != nil {
+		b.Fatal(err)
+	}
+	srv.WaitIdle()
+	warm.Close()
+
+	cli, err := NewClient(ClientConfig{Servers: []string{srv.Addr()}, DatasetDir: filepath.Dir(p)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cli.Close)
+	f, err := cli.Open(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+
+	b.ReportAllocs()
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 64<<10)
+		off := int64(0)
+		for pb.Next() {
+			if _, err := f.ReadAt(buf, off); err != nil {
+				b.Error(err)
+				return
+			}
+			off = (off + 64<<10) % (1 << 20)
+		}
+	})
+}

@@ -49,6 +49,18 @@ type ClientConfig struct {
 	RetryBaseDelay time.Duration
 	// RetrySeed seeds the backoff jitter; equal seeds sleep identically.
 	RetrySeed uint64
+	// PoolSize caps the idle TCP connections kept per server link; 0
+	// means transport.DefaultPoolSize, negative disables pooling. Size it
+	// to the loader's worker count.
+	PoolSize int
+	// Readahead controls the sequential-read pipeline of File.Read on
+	// remote whole-file handles: while the caller consumes one chunk the
+	// client has already issued the RPC for the next (the Clairvoyant
+	// Prefetching observation — pipelined fetches hide per-sample
+	// latency). 0 enables the default one-chunk pipeline; negative
+	// disables readahead. Failed readahead RPCs are discarded and the
+	// read retries synchronously, so fallback behaviour is unchanged.
+	Readahead int
 	// DialTransport overrides how a server link is established — the seam
 	// the fault-injection harness decorates. Nil means TCP via
 	// transport.DialWith with the timeout/retry settings above.
@@ -57,13 +69,15 @@ type ClientConfig struct {
 
 // ClientStats counts client-side activity.
 type ClientStats struct {
-	Redirected  int64 // opens served via HVAC
-	Passthrough int64 // opens outside the dataset dir
-	Fallbacks   int64 // opens that fell back to the PFS after server failure
-	Degrades    int64 // redirected handles demoted to PFS mid-read (§III-H)
-	Failovers   int64 // opens served by a non-primary replica
-	Retries     int64 // transport-level retry attempts spent across all server links
-	BytesRead   int64
+	Redirected    int64 // opens served via HVAC
+	Passthrough   int64 // opens outside the dataset dir
+	Fallbacks     int64 // opens that fell back to the PFS after server failure
+	Degrades      int64 // redirected handles demoted to PFS mid-read (§III-H)
+	Failovers     int64 // opens served by a non-primary replica
+	Retries       int64 // transport-level retry attempts spent across all server links
+	Readaheads    int64 // sequential-read chunks requested ahead of the caller
+	ReadaheadHits int64 // reads served from a completed readahead chunk
+	BytesRead     int64
 }
 
 // Client is a real-mode HVAC client: the Go equivalent of the LD_PRELOAD
@@ -104,6 +118,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 				BaseDelay:   cfg.RetryBaseDelay,
 				Seed:        cfg.RetrySeed,
 			},
+			PoolSize: cfg.PoolSize,
 		}
 		dial = func(addr string) transport.Transport { return transport.DialWith(addr, opts) }
 	}
@@ -151,6 +166,13 @@ func (c *Client) Home(path string) int {
 	return c.cfg.Placement.Place(path, len(c.conns))
 }
 
+// raResult carries one completed readahead RPC from the pipeline
+// goroutine to the consuming Read.
+type raResult struct {
+	resp *transport.Response
+	err  error
+}
+
 // File is a read-only remote file handle served by an HVAC server (whole
 // file or segment-striped), or a fallback PFS handle. It implements
 // io.Reader, io.ReaderAt and io.Closer.
@@ -165,6 +187,15 @@ type File struct {
 	segmented bool
 	closed    bool
 	mu        sync.Mutex
+
+	// Sequential-read pipeline (File.Read only): at most one chunk RPC in
+	// flight, owned by whoever flips raPending under mu. The WaitGroup
+	// joins the pipeline goroutine on Close.
+	raCh      chan raResult
+	raWG      sync.WaitGroup
+	raOff     int64
+	raWant    int
+	raPending bool
 }
 
 // Open opens path through HVAC: redirected to its home server when under
@@ -192,18 +223,21 @@ func (c *Client) Open(path string) (*File, error) {
 	for i, srv := range replicas {
 		resp, err := c.conns[srv].Call(&transport.Request{Op: transport.OpOpen, Path: abs})
 		if err == nil && resp.OK() {
+			handle, size := resp.Handle, resp.Size
+			resp.Release()
 			c.bump(func(s *ClientStats) {
 				s.Redirected++
 				if i > 0 {
 					s.Failovers++
 				}
 			})
-			return &File{c: c, conn: c.conns[srv], handle: resp.Handle, size: resp.Size, path: abs}, nil
+			return &File{c: c, conn: c.conns[srv], handle: handle, size: size, path: abs}, nil
 		}
 		if err == nil {
 			// The server answered with an application error (e.g. file
 			// absent on the PFS): no point trying replicas.
 			lastErr = resp.Error()
+			resp.Release()
 			break
 		}
 		lastErr = err
@@ -227,8 +261,7 @@ func (c *Client) bump(f func(*ClientStats)) {
 
 // segmentHome returns the connection serving segment i of path.
 func (c *Client) segmentHome(path string, seg int64) transport.Transport {
-	key := fmt.Sprintf("%s@%d", path, seg)
-	return c.conns[c.cfg.Placement.Place(key, len(c.conns))]
+	return c.conns[c.cfg.Placement.Place(segKey(path, seg), len(c.conns))]
 }
 
 // openSegmented opens path in segment-striped mode: the size comes from a
@@ -236,11 +269,14 @@ func (c *Client) segmentHome(path string, seg int64) transport.Transport {
 func (c *Client) openSegmented(abs string) (*File, error) {
 	resp, err := c.segmentHome(abs, 0).Call(&transport.Request{Op: transport.OpStat, Path: abs})
 	if err == nil && resp.OK() {
+		size := resp.Size
+		resp.Release()
 		c.bump(func(s *ClientStats) { s.Redirected++ })
-		return &File{c: c, path: abs, size: resp.Size, segmented: true}, nil
+		return &File{c: c, path: abs, size: size, segmented: true}, nil
 	}
 	if err == nil {
 		err = resp.Error()
+		resp.Release()
 	}
 	if c.cfg.DisableFallback {
 		return nil, fmt.Errorf("hvac client: open %s: %w", abs, err)
@@ -280,6 +316,7 @@ func (f *File) readAtSegmented(p []byte, off int64) (int, error) {
 		if err != nil || !resp.OK() {
 			if err == nil {
 				err = resp.Error()
+				resp.Release()
 			}
 			if f.c.cfg.DisableFallback {
 				return total, err
@@ -295,6 +332,7 @@ func (f *File) readAtSegmented(p []byte, off int64) (int, error) {
 			return total, nil
 		}
 		n := copy(p[total:], resp.Data)
+		resp.Release()
 		total += n
 		f.c.bump(func(s *ClientStats) { s.BytesRead += int64(n) })
 		if int64(n) < want {
@@ -345,6 +383,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		if err != nil || !resp.OK() {
 			if err == nil {
 				err = resp.Error()
+				resp.Release()
 			}
 			if f.c.cfg.DisableFallback {
 				return total, err
@@ -360,6 +399,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			return total, nil
 		}
 		n := copy(p[total:], resp.Data)
+		resp.Release()
 		total += n
 		f.c.bump(func(s *ClientStats) { s.BytesRead += int64(n) })
 		if int64(n) < want {
@@ -387,16 +427,101 @@ func (f *File) degradeToPFS(p []byte, off int64) (int, error) {
 	return fb.ReadAt(p, off)
 }
 
-// Read implements io.Reader.
+// Read implements io.Reader with a sequential-read pipeline: when the
+// previous Read left a chunk RPC in flight for exactly this offset, the
+// result is consumed directly (ReadaheadHits); otherwise the read runs
+// synchronously through ReadAt, with all of its fallback behaviour. A
+// failed readahead chunk is discarded and re-read synchronously, so fault
+// handling and byte results are identical with the pipeline on or off.
 func (f *File) Read(p []byte) (int, error) {
 	f.mu.Lock()
 	off := f.off
+	pending := f.raPending
+	match := pending && f.raOff == off
+	if pending {
+		f.raPending = false // claim the in-flight chunk, matching or stale
+	}
+	want := f.raWant
 	f.mu.Unlock()
-	n, err := f.ReadAt(p, off)
+
+	n, err, served := 0, error(nil), false
+	if pending {
+		r := <-f.raCh
+		if match {
+			n, err, served = f.consumeReadahead(p, r, want)
+		} else if r.resp != nil {
+			r.resp.Release() // stale chunk: the caller seeked elsewhere
+		}
+	}
+	if !served {
+		n, err = f.ReadAt(p, off)
+	}
 	f.mu.Lock()
 	f.off = off + int64(n)
 	f.mu.Unlock()
+	if err == nil {
+		f.maybeReadahead(off+int64(n), len(p))
+	}
 	return n, err
+}
+
+// consumeReadahead serves a Read from a completed pipeline chunk. A
+// transport or server failure yields served == false and no error: the
+// caller re-reads synchronously, which applies the normal
+// replica/PFS-fallback path.
+func (f *File) consumeReadahead(p []byte, r raResult, want int) (int, error, bool) {
+	if r.err != nil || r.resp == nil || !r.resp.OK() {
+		if r.resp != nil {
+			r.resp.Release()
+		}
+		return 0, nil, false
+	}
+	data := r.resp.Data
+	n := copy(p, data)
+	short := len(data) < want // the chunk hit EOF
+	r.resp.Release()
+	f.c.bump(func(s *ClientStats) {
+		s.ReadaheadHits++
+		s.BytesRead += int64(n)
+	})
+	if short && n == len(data) {
+		return n, io.EOF, true
+	}
+	return n, nil, true
+}
+
+// maybeReadahead launches the next chunk's RPC at off so it overlaps the
+// caller's consumption of the chunk just returned. At most one RPC is in
+// flight per File; the goroutine is joined on Close via raWG.
+func (f *File) maybeReadahead(off int64, want int) {
+	if f.c.cfg.Readahead < 0 || f.segmented || want <= 0 {
+		return
+	}
+	if int64(want) > transport.MaxFrame/2 {
+		want = transport.MaxFrame / 2
+	}
+	f.mu.Lock()
+	if f.closed || f.fallback != nil || f.raPending || off >= f.size {
+		f.mu.Unlock()
+		return
+	}
+	if f.raCh == nil {
+		f.raCh = make(chan raResult, 1)
+	}
+	f.raPending = true
+	f.raOff = off
+	f.raWant = want
+	conn, handle := f.conn, f.handle
+	f.raWG.Add(1)
+	f.mu.Unlock()
+	f.c.bump(func(s *ClientStats) { s.Readaheads++ })
+	go func() {
+		defer f.raWG.Done()
+		resp, err := conn.Call(&transport.Request{
+			Op: transport.OpRead, Handle: handle, Off: off, Len: int64(want),
+		})
+		f.raCh <- raResult{resp: resp, err: err} // buffered: never blocks
+	}()
 }
 
 // Close implements io.Closer, releasing the server-side handle.
@@ -407,7 +532,17 @@ func (f *File) Close() error {
 		return nil
 	}
 	f.closed = true
+	pending := f.raPending
+	f.raPending = false
 	f.mu.Unlock()
+	if pending {
+		// Drain the in-flight chunk so its pooled buffer is recycled; the
+		// RPC is bounded by the call timeout.
+		if r := <-f.raCh; r.resp != nil {
+			r.resp.Release()
+		}
+	}
+	f.raWG.Wait()
 	if f.fallback != nil {
 		return f.fallback.Close()
 	}
@@ -418,7 +553,9 @@ func (f *File) Close() error {
 	if err != nil {
 		return err
 	}
-	return resp.Error()
+	err = resp.Error()
+	resp.Release()
+	return err
 }
 
 // Prefetch asks the home servers to pre-populate their caches with the
@@ -436,8 +573,11 @@ func (c *Client) Prefetch(paths []string) int {
 		}
 		srv := c.conns[c.Home(abs)]
 		resp, err := srv.Call(&transport.Request{Op: transport.OpPrefetch, Path: abs})
-		if err == nil && resp.OK() {
-			accepted++
+		if err == nil {
+			if resp.OK() {
+				accepted++
+			}
+			resp.Release()
 		}
 	}
 	return accepted
@@ -468,10 +608,13 @@ func (c *Client) ReadAll(path string) ([]byte, error) {
 
 // readAllChunked reads f in MaxFrame-sized chunks, growing the result as
 // bytes actually arrive, so a corrupt or hostile size field never commits
-// a huge up-front allocation.
+// a huge up-front allocation. The chunk itself is pooled — a 64 MiB make
+// per oversized file would be exactly the allocation churn this path is
+// meant to avoid.
 func readAllChunked(f *File) ([]byte, error) {
 	var buf []byte
-	chunk := make([]byte, transport.MaxFrame)
+	chunk := transport.GetBuffer(transport.MaxFrame)
+	defer transport.PutBuffer(chunk)
 	var off int64
 	for {
 		n, err := f.ReadAt(chunk, off)

@@ -16,6 +16,12 @@
 // files) and a simulated mode (sim*.go) used to reproduce the paper's
 // Summit-scale experiments; the placement, queueing and caching logic is
 // shared.
+//
+// The request path is engineered to be allocation- and contention-free
+// when warm (DESIGN.md §9): stats are typed atomics, the handle table is
+// sharded (handles.go), payload buffers are pooled (transport.Response
+// ownership), and the only mutex left — Server.mu — guards just the
+// data-mover dedup map, off the read path entirely.
 package core
 
 import (
@@ -24,8 +30,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hvac/internal/cachestore"
@@ -80,6 +88,30 @@ type ServerStats struct {
 	Evictions            int64
 }
 
+// serverCounters is the live form of ServerStats: typed atomics, so the
+// read path bumps them without any lock (and without tripping the
+// atomicmix analyzer — plain access to these fields is unrepresentable).
+type serverCounters struct {
+	opens, reads, closes atomic.Int64
+	hits, misses         atomic.Int64
+	readThroughs         atomic.Int64
+	bytesServed          atomic.Int64
+	bytesFetched         atomic.Int64
+}
+
+func (c *serverCounters) snapshot() ServerStats {
+	return ServerStats{
+		Opens:        c.opens.Load(),
+		Reads:        c.reads.Load(),
+		Closes:       c.closes.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		ReadThroughs: c.readThroughs.Load(),
+		BytesServed:  c.bytesServed.Load(),
+		BytesFetched: c.bytesFetched.Load(),
+	}
+}
+
 type fetchResult struct {
 	done chan struct{}
 	err  error
@@ -109,11 +141,15 @@ type Server struct {
 	fetchQ  chan fetchTask
 	moverWG sync.WaitGroup
 
+	handles handleTable
+	nextFD  atomic.Int64
+	stats   serverCounters
+
+	// mu guards only the data-mover dedup state below — nothing on the
+	// read path takes it.
 	mu       sync.Mutex
+	idle     *sync.Cond // signalled when inflight drains to empty
 	inflight map[string]*fetchResult
-	handles  map[int64]*openHandle
-	nextFD   int64
-	stats    ServerStats
 	closed   bool
 
 	latOpen  metrics.Histogram
@@ -147,8 +183,8 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		store:    store,
 		fetchQ:   make(chan fetchTask, 1024),
 		inflight: make(map[string]*fetchResult),
-		handles:  make(map[int64]*openHandle),
 	}
+	s.idle = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Movers; i++ {
 		s.moverWG.Add(1)
 		go s.mover()
@@ -168,9 +204,7 @@ func (s *Server) Addr() string { return s.rpc.Addr() }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
+	st := s.stats.snapshot()
 	_, _, ev := s.store.Stats()
 	st.Evictions = ev
 	return st
@@ -191,14 +225,12 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	handles := s.handles
-	s.handles = map[int64]*openHandle{}
 	s.mu.Unlock()
 
 	s.rpc.Close()
 	close(s.fetchQ)
 	s.moverWG.Wait()
-	for _, h := range handles {
+	for _, h := range s.handles.drain() {
 		_ = h.f.Close() // teardown is best-effort: the job is over
 		if h.release != nil {
 			h.release()
@@ -217,6 +249,9 @@ func (s *Server) mover() {
 		start := time.Now()
 		err := s.copyIn(task)
 		s.latCopy.Observe(time.Since(start))
+		if err == nil {
+			s.stats.misses.Add(1) // a completed first-read copy
+		}
 		s.mu.Lock()
 		fr := s.inflight[task.key]
 		if fr != nil {
@@ -224,30 +259,23 @@ func (s *Server) mover() {
 			close(fr.done)
 			delete(s.inflight, task.key)
 		}
-		if err == nil {
-			s.stats.Misses++ // a completed first-read copy
+		if len(s.inflight) == 0 {
+			s.idle.Broadcast()
 		}
 		s.mu.Unlock()
 	}
 }
 
 // WaitIdle blocks until every in-flight background copy has completed.
-// Useful for tests and for measuring clean warm-epoch performance.
+// Useful for tests and for measuring clean warm-epoch performance. The
+// movers signal the condition when the inflight map drains, so waiting
+// does not re-scan or poll.
 func (s *Server) WaitIdle() {
-	for {
-		s.mu.Lock()
-		var pending []*fetchResult
-		for _, fr := range s.inflight {
-			pending = append(pending, fr)
-		}
-		s.mu.Unlock()
-		if len(pending) == 0 {
-			return
-		}
-		for _, fr := range pending {
-			<-fr.done
-		}
+	s.mu.Lock()
+	for len(s.inflight) > 0 {
+		s.idle.Wait()
 	}
+	s.mu.Unlock()
 }
 
 func (s *Server) copyIn(task fetchTask) error {
@@ -274,9 +302,7 @@ func (s *Server) copyIn(task fetchTask) error {
 	if err := s.store.Put(task.key, size, rd); err != nil {
 		return fmt.Errorf("hvac server: cache fill: %w", err)
 	}
-	s.mu.Lock()
-	s.stats.BytesFetched += size
-	s.mu.Unlock()
+	s.stats.bytesFetched.Add(size)
 	return nil
 }
 
@@ -301,6 +327,25 @@ func (s *Server) scheduleFetch(task fetchTask) {
 
 func errResp(err error) *transport.Response {
 	return &transport.Response{Status: transport.StatusError, Err: err.Error()}
+}
+
+// checkReadLen bounds a wire-supplied read length before it sizes a
+// buffer: negative lengths are nonsense and anything above half a frame
+// cannot be answered (the response frame must also carry the header and
+// tail). Both handleRead and handleReadAt validate through this one
+// helper.
+func checkReadLen(n int64) error {
+	if n < 0 || n > transport.MaxFrame/2 {
+		return fmt.Errorf("hvac server: read length %d out of range", n)
+	}
+	return nil
+}
+
+// segKey names one cached segment. strconv instead of fmt keeps it off
+// the Sprintf slow path — this runs per segment read on client and
+// server.
+func segKey(path string, seg int64) string {
+	return path + "@" + strconv.FormatInt(seg, 10)
 }
 
 // handle dispatches one RPC, recording per-operation service latency.
@@ -372,13 +417,10 @@ func (s *Server) handleOpen(req *transport.Request) *transport.Response {
 				release()
 				return errResp(serr)
 			}
-			s.mu.Lock()
-			s.nextFD++
-			fd := s.nextFD
-			s.handles[fd] = &openHandle{f: f, release: release, size: fi.Size()}
-			s.stats.Opens++
-			s.stats.Hits++
-			s.mu.Unlock()
+			fd := s.nextFD.Add(1)
+			s.handles.put(fd, &openHandle{f: f, release: release, size: fi.Size()})
+			s.stats.opens.Add(1)
+			s.stats.hits.Add(1)
 			return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
 		}
 		// Evicted between Contains and Open: fall through to read-through.
@@ -393,49 +435,46 @@ func (s *Server) handleOpen(req *transport.Request) *transport.Response {
 		return errResp(err)
 	}
 	s.scheduleFetch(fetchTask{key: req.Path, path: req.Path})
-	s.mu.Lock()
-	s.nextFD++
-	fd := s.nextFD
-	s.handles[fd] = &openHandle{f: f, size: fi.Size()}
-	s.stats.Opens++
-	s.stats.ReadThroughs++
-	s.mu.Unlock()
+	fd := s.nextFD.Add(1)
+	s.handles.put(fd, &openHandle{f: f, size: fi.Size()})
+	s.stats.opens.Add(1)
+	s.stats.readThroughs.Add(1)
 	return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
 }
 
+// handleRead serves a ranged read on an open handle. The warm path is
+// allocation-free: the payload buffer is pooled (owned by the response,
+// recycled by the transport loop after the vectored write), the handle
+// lookup takes a sharded read lock, and the counters are atomics.
 func (s *Server) handleRead(req *transport.Request) *transport.Response {
-	s.mu.Lock()
-	h, ok := s.handles[req.Handle]
-	s.mu.Unlock()
+	h, ok := s.handles.get(req.Handle)
 	if !ok {
 		return errResp(fmt.Errorf("hvac server: bad handle %d", req.Handle))
 	}
-	if req.Len < 0 || req.Len > transport.MaxFrame/2 {
-		return errResp(fmt.Errorf("hvac server: read length %d out of range", req.Len))
-	}
-	buf := make([]byte, req.Len)
-	n, err := h.f.ReadAt(buf, req.Off)
-	if err != nil && err != io.EOF {
+	if err := checkReadLen(req.Len); err != nil {
 		return errResp(err)
 	}
-	s.mu.Lock()
-	s.stats.Reads++
-	s.stats.BytesServed += int64(n)
-	s.mu.Unlock()
-	return &transport.Response{Status: transport.StatusOK, Size: int64(n), Data: buf[:n]}
+	resp := transport.AcquireResponse()
+	buf := resp.Grab(int(req.Len))
+	n, err := h.f.ReadAt(buf, req.Off)
+	if err != nil && err != io.EOF {
+		resp.Release()
+		return errResp(err)
+	}
+	s.stats.reads.Add(1)
+	s.stats.bytesServed.Add(int64(n))
+	resp.Status = transport.StatusOK
+	resp.Size = int64(n)
+	resp.Data = buf[:n]
+	return resp
 }
 
 func (s *Server) handleClose(req *transport.Request) *transport.Response {
-	s.mu.Lock()
-	h, ok := s.handles[req.Handle]
-	delete(s.handles, req.Handle)
-	if ok {
-		s.stats.Closes++
-	}
-	s.mu.Unlock()
+	h, ok := s.handles.take(req.Handle)
 	if !ok {
 		return errResp(fmt.Errorf("hvac server: bad handle %d", req.Handle))
 	}
+	s.stats.closes.Add(1)
 	err := h.f.Close()
 	if h.release != nil {
 		h.release()
@@ -461,8 +500,9 @@ func (s *Server) handlePrefetch(req *transport.Request) *transport.Response {
 
 // handleReadAt serves a stateless segment read: the requested byte range
 // must lie within one segment; the segment is served from the cache when
-// resident, read through from the PFS otherwise (with a background
-// segment copy scheduled).
+// resident — through the store's shared-handle cache, so a warm segment
+// read costs one pread, not an open/read/close triple — and read through
+// from the PFS otherwise (with a background segment copy scheduled).
 func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 	segSize := s.cfg.SegmentSize
 	if segSize <= 0 {
@@ -471,50 +511,52 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 	if err := s.allowed(req.Path); err != nil {
 		return errResp(err)
 	}
-	if req.Len < 0 || req.Len > transport.MaxFrame/2 {
-		return errResp(fmt.Errorf("hvac server: read length %d out of range", req.Len))
+	if err := checkReadLen(req.Len); err != nil {
+		return errResp(err)
 	}
 	segIdx := req.Off / segSize
 	if (req.Off+req.Len-1)/segSize != segIdx && req.Len > 0 {
 		return errResp(fmt.Errorf("hvac server: range [%d,%d) crosses a segment boundary", req.Off, req.Off+req.Len))
 	}
-	key := fmt.Sprintf("%s@%d", req.Path, segIdx)
-	buf := make([]byte, req.Len)
+	key := segKey(req.Path, segIdx)
+	resp := transport.AcquireResponse()
+	buf := resp.Grab(int(req.Len))
 
 	if s.store.Contains(key) {
-		f, release, err := s.store.Open(key)
-		if err == nil {
-			n, rerr := f.ReadAt(buf, req.Off-segIdx*segSize)
-			_ = f.Close() // read-only handle; the ReadAt result is what matters
-			release()
-			if rerr != nil && rerr != io.EOF {
-				return errResp(rerr)
-			}
-			s.mu.Lock()
-			s.stats.Reads++
-			s.stats.Hits++
-			s.stats.BytesServed += int64(n)
-			s.mu.Unlock()
-			return &transport.Response{Status: transport.StatusOK, Size: int64(n), Data: buf[:n]}
+		n, rerr := s.store.ReadAt(key, buf, req.Off-segIdx*segSize)
+		if rerr == nil || rerr == io.EOF {
+			s.stats.reads.Add(1)
+			s.stats.hits.Add(1)
+			s.stats.bytesServed.Add(int64(n))
+			resp.Status = transport.StatusOK
+			resp.Size = int64(n)
+			resp.Data = buf[:n]
+			return resp
 		}
+		// Evicted (or the cached copy went bad) between Contains and
+		// ReadAt: fall through to read-through, which serves the same
+		// bytes from the PFS.
 	}
 	// Read-through from the PFS; tee a background segment copy.
 	f, err := os.Open(req.Path)
 	if err != nil {
+		resp.Release()
 		return errResp(fmt.Errorf("hvac server: pfs open: %w", err))
 	}
 	n, rerr := f.ReadAt(buf, req.Off)
 	_ = f.Close() // read-only handle; the ReadAt result is what matters
 	if rerr != nil && rerr != io.EOF {
+		resp.Release()
 		return errResp(rerr)
 	}
 	s.scheduleFetch(fetchTask{key: key, path: req.Path, off: segIdx * segSize, len: segSize})
-	s.mu.Lock()
-	s.stats.Reads++
-	s.stats.ReadThroughs++
-	s.stats.BytesServed += int64(n)
-	s.mu.Unlock()
-	return &transport.Response{Status: transport.StatusOK, Size: int64(n), Data: buf[:n]}
+	s.stats.reads.Add(1)
+	s.stats.readThroughs.Add(1)
+	s.stats.bytesServed.Add(int64(n))
+	resp.Status = transport.StatusOK
+	resp.Size = int64(n)
+	resp.Data = buf[:n]
+	return resp
 }
 
 func (s *Server) handleStat(req *transport.Request) *transport.Response {

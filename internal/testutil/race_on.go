@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-budget tests skip under race: race-mode
+// sync.Pool randomly drops Puts, so pooled paths legitimately allocate.
+const RaceEnabled = true

@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"hvac/internal/testutil"
+)
+
+// The codec's zero-allocation contract (ISSUE 4 / DESIGN.md §9): once the
+// pools are warm, encoding a response, decoding one (with Release), and
+// encoding a request allocate nothing; decoding a request allocates only
+// the path string. These budgets are regression gates — a change that
+// reintroduces a per-call make on the hot path fails here, not in a
+// benchmark someone has to remember to run.
+
+// skipUnderRace skips allocation-budget tests under the race detector:
+// race-mode sync.Pool randomly drops Puts, so warm pooled paths
+// legitimately allocate there.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets do not hold under -race (sync.Pool drops Puts)")
+	}
+}
+
+func warmPools(data []byte) {
+	// Prime the frame, net.Buffers and Response pools for every size used
+	// by the tests: a few full round trips through the codec.
+	var buf bytes.Buffer
+	for i := 0; i < 4; i++ {
+		buf.Reset()
+		_ = WriteResponse(&buf, &Response{Status: StatusOK, Size: int64(len(data)), Data: data})
+		resp, err := ReadResponse(bytes.NewReader(buf.Bytes()))
+		if err == nil {
+			resp.Release()
+		}
+	}
+}
+
+func TestWriteResponseAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	data := make([]byte, 64<<10)
+	resp := &Response{Status: StatusOK, Size: int64(len(data)), Data: data}
+	warmPools(data)
+	_ = WriteResponse(io.Discard, resp)
+	if n := testing.AllocsPerRun(200, func() {
+		if err := WriteResponse(io.Discard, resp); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("WriteResponse allocates %.1f/op on the warm path, want 0", n)
+	}
+}
+
+func TestWriteResponseEmptyAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	resp := &Response{Status: StatusOK}
+	_ = WriteResponse(io.Discard, resp)
+	if n := testing.AllocsPerRun(200, func() {
+		if err := WriteResponse(io.Discard, resp); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("payload-free WriteResponse allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestReadResponseAllocFreeWithRelease(t *testing.T) {
+	skipUnderRace(t)
+	data := make([]byte, 64<<10)
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &Response{Status: StatusOK, Size: int64(len(data)), Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	warmPools(data)
+	rd := bytes.NewReader(wire)
+	if n := testing.AllocsPerRun(200, func() {
+		rd.Reset(wire)
+		resp, err := ReadResponse(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	}); n > 0 {
+		t.Errorf("ReadResponse+Release allocates %.1f/op on the warm path, want 0", n)
+	}
+}
+
+func TestWriteRequestAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	req := &Request{Op: OpRead, Handle: 7, Off: 4096, Len: 64 << 10, Path: "/gpfs/dataset/file-000001.rec"}
+	_ = WriteRequest(io.Discard, req)
+	if n := testing.AllocsPerRun(200, func() {
+		if err := WriteRequest(io.Discard, req); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("WriteRequest allocates %.1f/op on the warm path, want 0", n)
+	}
+}
+
+func TestReadRequestIntoAllocsOnlyPath(t *testing.T) {
+	skipUnderRace(t)
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Op: OpRead, Handle: 7, Off: 4096, Len: 64 << 10, Path: "/gpfs/dataset/file-000001.rec"}); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	rd := bytes.NewReader(wire)
+	var req Request
+	rd.Reset(wire)
+	if err := ReadRequestInto(rd, &req); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		rd.Reset(wire)
+		if err := ReadRequestInto(rd, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("ReadRequestInto allocates %.1f/op, want <= 1 (the path string)", n)
+	}
+}
+
+// TestRoundTripWithRelease checks that pooled decode + Release preserves
+// byte identity even when the same pooled buffers are recycled across
+// iterations and sizes — the aliasing bug pooling invites.
+func TestRoundTripWithRelease(t *testing.T) {
+	sizes := []int{0, 1, 511, 512, 513, 4096, 64 << 10, 1 << 20}
+	var buf bytes.Buffer
+	for round := 0; round < 3; round++ {
+		for _, size := range sizes {
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i*31 + size + round)
+			}
+			buf.Reset()
+			want := &Response{Status: StatusOK, Handle: int64(size), Size: int64(size), Data: data}
+			if err := WriteResponse(&buf, want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadResponse(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Handle != int64(size) || got.Size != int64(size) || !bytes.Equal(got.Data, data) {
+				t.Fatalf("size %d round %d: decode mismatch", size, round)
+			}
+			got.Release()
+		}
+	}
+}
+
+// TestConcurrentPoolRoundTrips shakes the pools from many goroutines (run
+// under -race by make check): distinct responses must never observe each
+// other's recycled buffers.
+func TestConcurrentPoolRoundTrips(t *testing.T) {
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{seed}, 32<<10)
+			var buf bytes.Buffer
+			for i := 0; i < 200; i++ {
+				buf.Reset()
+				if err := WriteResponse(&buf, &Response{Status: StatusOK, Size: int64(len(data)), Data: data}); err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := ReadResponse(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, b := range resp.Data {
+					if b != seed {
+						t.Errorf("worker %d: read back %d, pooled buffer crossed goroutines", seed, b)
+						resp.Release()
+						return
+					}
+				}
+				resp.Release()
+			}
+		}(byte(w + 1))
+	}
+	wg.Wait()
+}
+
+func TestGrabReleaseOwnership(t *testing.T) {
+	resp := AcquireResponse()
+	b1 := resp.Grab(1000)
+	if len(b1) != 1000 {
+		t.Fatalf("Grab(1000) length = %d", len(b1))
+	}
+	// A second Grab recycles the first buffer before handing out another.
+	b2 := resp.Grab(2000)
+	if len(b2) != 2000 {
+		t.Fatalf("Grab(2000) length = %d", len(b2))
+	}
+	resp.Data = b2[:5]
+	resp.Release()
+
+	// Release on a plain literal is a safe no-op beyond clearing Data.
+	lit := &Response{Status: StatusOK, Data: []byte{1, 2, 3}}
+	lit.Release()
+	if lit.Data != nil {
+		t.Fatal("Release left literal Data set")
+	}
+}
+
+func TestGetPutBuffer(t *testing.T) {
+	for _, n := range []int{0, 1, 512, 1000, 1 << 20} {
+		b := GetBuffer(n)
+		if len(b) != n {
+			t.Fatalf("GetBuffer(%d) length = %d", n, len(b))
+		}
+		PutBuffer(b)
+	}
+	// Oversized requests (beyond MaxFrame) still work, just unpooled.
+	big := GetBuffer(MaxFrame + 1)
+	if len(big) != MaxFrame+1 {
+		t.Fatalf("oversized GetBuffer length = %d", len(big))
+	}
+	PutBuffer(big)
+}

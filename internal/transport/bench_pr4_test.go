@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Hot-path codec benchmarks (ISSUE 4). scripts/bench.sh runs these and
+// records the numbers in BENCH_PR4.json next to the pre-pooling baseline;
+// the allocs/op figures are additionally pinned by alloc_test.go so a
+// regression fails `go test`, not just the benchmark comparison.
+
+func BenchmarkWriteResponse64K(b *testing.B) {
+	data := make([]byte, 64<<10)
+	resp := &Response{Status: StatusOK, Size: int64(len(data)), Data: data}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if err := WriteResponse(io.Discard, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadResponse64K(b *testing.B) {
+	data := make([]byte, 64<<10)
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &Response{Status: StatusOK, Size: int64(len(data)), Data: data}); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	rd := bytes.NewReader(wire)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(wire)
+		resp, err := ReadResponse(rd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Release()
+	}
+}
+
+func BenchmarkWriteRequestBase(b *testing.B) {
+	req := &Request{Op: OpRead, Handle: 7, Off: 4096, Len: 64 << 10, Path: "/gpfs/dataset/file-000001.rec"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteRequest(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadRequestBase(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Op: OpRead, Handle: 7, Off: 4096, Len: 64 << 10, Path: "/gpfs/dataset/file-000001.rec"}); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	b.ReportAllocs()
+	rd := bytes.NewReader(wire)
+	var req Request
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(wire)
+		if err := ReadRequestInto(rd, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

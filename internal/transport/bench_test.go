@@ -13,11 +13,14 @@ func BenchmarkRPCRoundTrip(b *testing.B) {
 	cli := Dial(srv.Addr())
 	defer cli.Close()
 	req := &Request{Op: OpOpen, Path: "/gpfs/dataset/file.rec"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cli.Call(req); err != nil {
+		resp, err := cli.Call(req)
+		if err != nil {
 			b.Fatal(err)
 		}
+		resp.Release()
 	}
 }
 
@@ -34,6 +37,7 @@ func BenchmarkBulkResponse1MB(b *testing.B) {
 	defer cli.Close()
 	req := &Request{Op: OpRead, Len: 1 << 20}
 	b.SetBytes(1 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		resp, err := cli.Call(req)
@@ -43,5 +47,6 @@ func BenchmarkBulkResponse1MB(b *testing.B) {
 		if len(resp.Data) != 1<<20 {
 			b.Fatal("short payload")
 		}
+		resp.Release()
 	}
 }

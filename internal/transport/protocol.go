@@ -11,6 +11,12 @@
 //
 // The frame length counts everything after the length field. Bulk payloads
 // ride in the response's data section.
+//
+// The codec is allocation-free on the warm path: frames are encoded into
+// and decoded from pooled buffers (pool.go), a response's payload is
+// written with a vectored header+payload+tail write (one writev syscall
+// on a TCP connection, zero payload copies), and decoded Responses come
+// from a pool, returned by Response.Release.
 package transport
 
 import (
@@ -50,10 +56,21 @@ const (
 // the paper profiled from ResNet50's loader (§III-F).
 const MaxFrame = 64 << 20
 
+// Fixed-layout byte counts of the two frame kinds.
+const (
+	reqFixedLen  = 1 + 8 + 8 + 8 + 2 // op..pathLen, after the length field
+	respHeadLen  = 4 + 1 + 8 + 8 + 4 // length field through dataLen
+	respFixedLen = 1 + 8 + 8 + 4 + 2 // status..errLen, after the length field
+)
+
 // ErrFrameTooLarge reports an oversized or corrupt frame.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
 
-// Request is a client->server message.
+// Request is a client->server message. A Request passed to a Handler is
+// only valid for the duration of the call: the server decodes into one
+// reused Request per connection. Handlers that need a field beyond the
+// call must copy it (string fields are safe to retain — Go strings are
+// immutable values).
 type Request struct {
 	Op     Op
 	Handle int64
@@ -63,12 +80,22 @@ type Request struct {
 }
 
 // Response is a server->client message.
+//
+// Ownership: a Response obtained from AcquireResponse or ReadResponse —
+// and any payload buffer obtained from its Grab — belongs to the caller
+// until Release, which recycles both. Release is optional for
+// correctness (the GC reclaims unreturned responses) but mandatory for
+// the zero-allocation hot path. After Release the Response and its Data
+// must not be touched.
 type Response struct {
 	Status uint8
 	Handle int64
 	Size   int64
 	Data   []byte
 	Err    string
+
+	pooled   *[]byte // backing frame/payload buffer owned by this response
+	fromPool bool    // struct came from respPool (AcquireResponse/ReadResponse)
 }
 
 // OK reports whether the response carries no error.
@@ -82,13 +109,42 @@ func (r *Response) Error() error {
 	return fmt.Errorf("transport: remote error: %s", r.Err)
 }
 
-// WriteRequest encodes req onto w.
+// Grab returns a pooled buffer of length n owned by the response: it is
+// recycled by Release. Handlers use it for payloads (set Data to a prefix
+// of it) so a served read allocates nothing.
+func (r *Response) Grab(n int) []byte {
+	if r.pooled != nil {
+		putFrameBuf(r.pooled)
+	}
+	r.pooled = getFrameBuf(n)
+	return (*r.pooled)[:n]
+}
+
+// Release recycles the response's pooled payload buffer and, when the
+// Response itself came from AcquireResponse/ReadResponse, the struct too.
+// Calling Release on a literal Response is safe. The Response and any
+// buffer from its Grab must not be used afterwards.
+func (r *Response) Release() {
+	if r.pooled != nil {
+		putFrameBuf(r.pooled)
+		r.pooled = nil
+	}
+	if r.fromPool {
+		*r = Response{}
+		respPool.Put(r)
+		return
+	}
+	r.Data = nil
+}
+
+// WriteRequest encodes req onto w using a pooled scratch frame.
 func WriteRequest(w io.Writer, req *Request) error {
 	if len(req.Path) > 1<<16-1 {
 		return fmt.Errorf("transport: path too long (%d bytes)", len(req.Path))
 	}
-	frame := 1 + 8 + 8 + 8 + 2 + len(req.Path)
-	buf := make([]byte, 4+frame)
+	frame := reqFixedLen + len(req.Path)
+	p := getFrameBuf(4 + frame)
+	buf := (*p)[:4+frame]
 	binary.LittleEndian.PutUint32(buf[0:], uint32(frame))
 	buf[4] = byte(req.Op)
 	binary.LittleEndian.PutUint64(buf[5:], uint64(req.Handle))
@@ -97,88 +153,124 @@ func WriteRequest(w io.Writer, req *Request) error {
 	binary.LittleEndian.PutUint16(buf[29:], uint16(len(req.Path)))
 	copy(buf[31:], req.Path)
 	_, err := w.Write(buf)
+	putFrameBuf(p)
 	return err
+}
+
+// ReadRequestInto decodes one request from r into *req, overwriting every
+// field. The decode scratch is pooled, so a server connection loop that
+// reuses one Request allocates only the path string per call.
+func ReadRequestInto(r io.Reader, req *Request) error {
+	// The length prefix is read into a pooled scratch, not a stack array:
+	// a [4]byte passed through the io.Reader interface escapes, which
+	// would cost one heap allocation per decode.
+	lp := getFrameBuf(4)
+	_, err := io.ReadFull(r, (*lp)[:4])
+	frame := binary.LittleEndian.Uint32((*lp)[:4])
+	putFrameBuf(lp)
+	if err != nil {
+		return err
+	}
+	if frame > MaxFrame || frame < reqFixedLen {
+		return ErrFrameTooLarge
+	}
+	p := getFrameBuf(int(frame))
+	buf := (*p)[:frame]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		putFrameBuf(p)
+		return err
+	}
+	req.Op = Op(buf[0])
+	req.Handle = int64(binary.LittleEndian.Uint64(buf[1:]))
+	req.Off = int64(binary.LittleEndian.Uint64(buf[9:]))
+	req.Len = int64(binary.LittleEndian.Uint64(buf[17:]))
+	pathLen := int(binary.LittleEndian.Uint16(buf[25:]))
+	if 27+pathLen > len(buf) {
+		putFrameBuf(p)
+		return fmt.Errorf("transport: corrupt request: path length %d overruns frame", pathLen)
+	}
+	req.Path = string(buf[27 : 27+pathLen])
+	putFrameBuf(p)
+	return nil
 }
 
 // ReadRequest decodes one request from r.
 func ReadRequest(r io.Reader) (*Request, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	req := new(Request)
+	if err := ReadRequestInto(r, req); err != nil {
 		return nil, err
 	}
-	frame := binary.LittleEndian.Uint32(lenBuf[:])
-	if frame > MaxFrame || frame < 31-4 {
-		return nil, ErrFrameTooLarge
-	}
-	buf := make([]byte, frame)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	req := &Request{
-		Op:     Op(buf[0]),
-		Handle: int64(binary.LittleEndian.Uint64(buf[1:])),
-		Off:    int64(binary.LittleEndian.Uint64(buf[9:])),
-		Len:    int64(binary.LittleEndian.Uint64(buf[17:])),
-	}
-	pathLen := int(binary.LittleEndian.Uint16(buf[25:]))
-	if 27+pathLen > len(buf) {
-		return nil, fmt.Errorf("transport: corrupt request: path length %d overruns frame", pathLen)
-	}
-	req.Path = string(buf[27 : 27+pathLen])
 	return req, nil
 }
 
-// WriteResponse encodes resp onto w.
+// WriteResponse encodes resp onto w. The header and tail are built in one
+// pooled scratch buffer; when a payload is present the three sections go
+// out as a vectored write (net.Buffers), which a TCP connection turns
+// into a single writev with no payload copy.
 func WriteResponse(w io.Writer, resp *Response) error {
 	if len(resp.Err) > 1<<16-1 {
 		return fmt.Errorf("transport: error string too long")
 	}
-	frame := 1 + 8 + 8 + 4 + len(resp.Data) + 2 + len(resp.Err)
+	frame := respFixedLen + len(resp.Data) + len(resp.Err)
 	if frame > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	head := make([]byte, 4+1+8+8+4)
-	binary.LittleEndian.PutUint32(head[0:], uint32(frame))
-	head[4] = resp.Status
-	binary.LittleEndian.PutUint64(head[5:], uint64(resp.Handle))
-	binary.LittleEndian.PutUint64(head[13:], uint64(resp.Size))
-	binary.LittleEndian.PutUint32(head[21:], uint32(len(resp.Data)))
-	if _, err := w.Write(head); err != nil {
-		return err
+	p := getFrameBuf(respHeadLen + 2 + len(resp.Err))
+	ht := (*p)[:respHeadLen+2+len(resp.Err)]
+	binary.LittleEndian.PutUint32(ht[0:], uint32(frame))
+	ht[4] = resp.Status
+	binary.LittleEndian.PutUint64(ht[5:], uint64(resp.Handle))
+	binary.LittleEndian.PutUint64(ht[13:], uint64(resp.Size))
+	binary.LittleEndian.PutUint32(ht[21:], uint32(len(resp.Data)))
+	binary.LittleEndian.PutUint16(ht[respHeadLen:], uint16(len(resp.Err)))
+	copy(ht[respHeadLen+2:], resp.Err)
+
+	var err error
+	if len(resp.Data) == 0 {
+		// Header and tail are contiguous in the scratch: one plain write.
+		_, err = w.Write(ht)
+	} else {
+		v := respVecPool.Get().(*respVec)
+		v.arr = [3][]byte{ht[:respHeadLen], resp.Data, ht[respHeadLen:]}
+		v.bufs = v.arr[:]
+		_, err = v.bufs.WriteTo(w)
+		v.arr = [3][]byte{} // drop payload references before pooling
+		respVecPool.Put(v)
 	}
-	if len(resp.Data) > 0 {
-		if _, err := w.Write(resp.Data); err != nil {
-			return err
-		}
-	}
-	tail := make([]byte, 2+len(resp.Err))
-	binary.LittleEndian.PutUint16(tail[0:], uint16(len(resp.Err)))
-	copy(tail[2:], resp.Err)
-	_, err := w.Write(tail)
+	putFrameBuf(p)
 	return err
 }
 
-// ReadResponse decodes one response from r.
+// ReadResponse decodes one response from r. The returned Response is
+// pooled and its Data aliases a pooled frame buffer: call Release once
+// the payload has been consumed (or keep the Response and let the GC
+// reclaim it — correct, but off the zero-allocation path).
 func ReadResponse(r io.Reader) (*Response, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	// Pooled length-prefix scratch for the same escape reason as
+	// ReadRequestInto.
+	lp := getFrameBuf(4)
+	_, err := io.ReadFull(r, (*lp)[:4])
+	frame := binary.LittleEndian.Uint32((*lp)[:4])
+	putFrameBuf(lp)
+	if err != nil {
 		return nil, err
 	}
-	frame := binary.LittleEndian.Uint32(lenBuf[:])
-	if frame > MaxFrame || frame < 1+8+8+4+2 {
+	if frame > MaxFrame || frame < respFixedLen {
 		return nil, ErrFrameTooLarge
 	}
-	buf := make([]byte, frame)
+	resp := AcquireResponse()
+	resp.pooled = getFrameBuf(int(frame))
+	buf := (*resp.pooled)[:frame]
 	if _, err := io.ReadFull(r, buf); err != nil {
+		resp.Release()
 		return nil, err
 	}
-	resp := &Response{
-		Status: buf[0],
-		Handle: int64(binary.LittleEndian.Uint64(buf[1:])),
-		Size:   int64(binary.LittleEndian.Uint64(buf[9:])),
-	}
+	resp.Status = buf[0]
+	resp.Handle = int64(binary.LittleEndian.Uint64(buf[1:]))
+	resp.Size = int64(binary.LittleEndian.Uint64(buf[9:]))
 	dataLen := int(binary.LittleEndian.Uint32(buf[17:]))
 	if 21+dataLen+2 > len(buf) {
+		resp.Release()
 		return nil, fmt.Errorf("transport: corrupt response: data length %d overruns frame", dataLen)
 	}
 	if dataLen > 0 {
@@ -186,8 +278,11 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	}
 	errLen := int(binary.LittleEndian.Uint16(buf[21+dataLen:]))
 	if 23+dataLen+errLen > len(buf) {
+		resp.Release()
 		return nil, fmt.Errorf("transport: corrupt response: error length %d overruns frame", errLen)
 	}
-	resp.Err = string(buf[23+dataLen : 23+dataLen+errLen])
+	if errLen > 0 {
+		resp.Err = string(buf[23+dataLen : 23+dataLen+errLen])
+	}
 	return resp, nil
 }

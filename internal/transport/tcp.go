@@ -85,21 +85,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// One Request per connection: ReadRequestInto overwrites every field,
+	// so the loop allocates only the decoded path string per call.
+	var req Request
 	for {
-		req, err := ReadRequest(conn)
-		if err != nil {
+		if err := ReadRequestInto(conn, &req); err != nil {
 			return // EOF or broken peer
 		}
-		resp := s.handler(req)
+		resp := s.handler(&req)
 		if resp == nil {
 			resp = &Response{Status: StatusError, Err: "nil response from handler"}
 		}
 		if s.writeTimeout > 0 {
 			if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+				resp.Release()
 				return
 			}
 		}
-		if err := WriteResponse(conn, resp); err != nil {
+		err := WriteResponse(conn, resp)
+		// The response is on the wire (or the link is dead): recycle its
+		// pooled payload either way. Handlers hand ownership to the server
+		// with their return.
+		resp.Release()
+		if err != nil {
 			return
 		}
 	}
@@ -128,6 +136,10 @@ func (s *Server) Close() {
 // ErrClientClosed is returned by Call after Close.
 var ErrClientClosed = errors.New("transport: client closed")
 
+// DefaultPoolSize is the idle-connection cap of a TCP client when
+// ClientOptions.PoolSize is zero.
+const DefaultPoolSize = 16
+
 // ClientOptions tune a TCP client's deadlines and retry behaviour.
 type ClientOptions struct {
 	// DialTimeout bounds connection establishment. 0 means 5 s.
@@ -138,6 +150,11 @@ type ClientOptions struct {
 	// Retry is the per-call retry schedule; zero fields take the package
 	// defaults (2 attempts, 2 ms base, 250 ms cap).
 	Retry RetryPolicy
+	// PoolSize caps the idle connections kept for reuse. 0 means
+	// DefaultPoolSize; negative disables pooling (every call dials).
+	// Size it to the caller's concurrency: an i×1 deployment driven by w
+	// loader workers wants at least w idle slots per server link.
+	PoolSize int
 }
 
 // Client is a connection-pooling RPC client for one server address. Calls
@@ -147,6 +164,7 @@ type Client struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
 	retry       RetryPolicy
+	poolSize    int
 	sleep       func(time.Duration) // test seam for backoff pauses
 
 	retries atomic.Int64
@@ -170,11 +188,18 @@ func DialWith(addr string, opts ClientOptions) *Client {
 	if opts.CallTimeout == 0 {
 		opts.CallTimeout = DefaultCallTimeout
 	}
+	switch {
+	case opts.PoolSize == 0:
+		opts.PoolSize = DefaultPoolSize
+	case opts.PoolSize < 0:
+		opts.PoolSize = 0
+	}
 	return &Client{
 		addr:        addr,
 		dialTimeout: opts.DialTimeout,
 		callTimeout: opts.CallTimeout,
 		retry:       opts.Retry.withDefaults(),
+		poolSize:    opts.PoolSize,
 		sleep:       time.Sleep,
 	}
 }
@@ -206,7 +231,7 @@ func (c *Client) getConn() (net.Conn, error) {
 func (c *Client) putConn(conn net.Conn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed || len(c.idle) >= 16 {
+	if c.closed || len(c.idle) >= c.poolSize {
 		_ = conn.Close() // pool full or closed: surplus socket is discarded
 		return
 	}

@@ -80,7 +80,11 @@ func (s *SimTransport) Call(req *Request) (*Response, error) {
 		resp = &Response{Status: StatusError, Err: "nil response from handler"}
 	}
 	var respBuf bytes.Buffer
-	if err := WriteResponse(&respBuf, resp); err != nil {
+	err = WriteResponse(&respBuf, resp)
+	// Same ownership contract as the TCP server loop: the handler's
+	// response is recycled once encoded.
+	resp.Release()
+	if err != nil {
 		return nil, err
 	}
 	return ReadResponse(&respBuf)

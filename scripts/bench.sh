@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench.sh — the short hot-path benchmark tier (ISSUE 4). Runs the codec
+# and server read-path benchmarks with fixed iteration counts and writes
+# BENCH_PR4.json: the measured numbers next to the committed pre-pooling
+# baseline, so the allocation/latency win is a recorded artifact rather
+# than a claim. CI runs this as a non-gating step; numbers from shared
+# runners are indicative, the allocs/op columns are the stable signal
+# (those are also pinned by alloc_test.go / perf_test.go).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR4.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo '--- transport benchmarks' >&2
+go test -run '^$' -bench 'WriteResponse64K|ReadResponse64K|WriteRequestBase|ReadRequestBase|RPCRoundTrip|BulkResponse1MB' \
+	-benchmem -benchtime 3000x ./internal/transport | tee -a "$TMP" >&2
+
+echo '--- core benchmarks' >&2
+go test -run '^$' -bench 'HandleReadWarm|ConcurrentClientsRead' \
+	-benchmem -benchtime 2000x ./internal/core | tee -a "$TMP" >&2
+
+# Convert `go test -bench` lines into JSON entries keyed by benchmark
+# name (GOMAXPROCS suffix stripped; the MB/s column is optional).
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bop = ""; allocs = ""; mbs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "B/op") bop = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+		if ($i == "MB/s") mbs = $(i - 1)
+	}
+	if (ns == "") next
+	if (out != "") out = out ",\n"
+	entry = sprintf("    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", name, ns, bop, allocs)
+	if (mbs != "") entry = entry sprintf(", \"mb_s\": %s", mbs)
+	out = out entry "}"
+}
+END { print out }
+' "$TMP" > "$TMP.json"
+
+cat > "$OUT" <<EOF
+{
+  "issue": 4,
+  "description": "Hot read path: pooled frames, vectored writes, sharded stats, client readahead. Baseline measured on the pre-PR tree (commit c2d71bd) with the same benchmarks and -benchtime; allocs_op is the stable cross-machine signal.",
+  "benchtime": {"transport": "3000x", "core": "2000x"},
+  "baseline": {
+    "BenchmarkWriteResponse64K": {"ns_op": 100.4, "b_op": 55, "allocs_op": 2},
+    "BenchmarkReadResponse64K": {"ns_op": 12904, "b_op": 73842, "allocs_op": 3},
+    "BenchmarkWriteRequestBase": {"ns_op": 41.65, "b_op": 64, "allocs_op": 1},
+    "BenchmarkReadRequestBase": {"ns_op": 143.4, "b_op": 148, "allocs_op": 4},
+    "BenchmarkRPCRoundTrip": {"ns_op": 17443, "b_op": 396, "allocs_op": 11},
+    "BenchmarkBulkResponse1MB": {"ns_op": 528034, "b_op": 1057072, "allocs_op": 10},
+    "BenchmarkHandleReadWarm": {"ns_op": 13161, "b_op": 65600, "allocs_op": 2}
+  },
+  "after": {
+$(cat "$TMP.json")
+  }
+}
+EOF
+rm -f "$TMP.json"
+
+echo "bench: wrote $OUT" >&2
