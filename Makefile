@@ -27,7 +27,8 @@ chaos:
 	$(GO) test -race -shuffle=on -v ./internal/faultnet ./internal/testutil
 	$(GO) test -race -shuffle=on -v -run 'Retry|Call|TimedOut|Truncated' ./internal/transport
 
-# The short hot-path benchmark tier: fixed iteration counts, results (and
-# the committed pre-pooling baseline) land in BENCH_PR4.json.
+# The short benchmark tier: fixed iteration counts; results land next to
+# the committed pre-PR baselines in BENCH_PR4.json (hot path) and
+# BENCH_PR5.json (cold path + batched small files).
 bench:
 	./scripts/bench.sh

@@ -8,6 +8,7 @@
 //
 //	hvacc -servers host1:7070,host2:7070 -dataset /gpfs/dataset read /gpfs/dataset/*.rec
 //	hvacc -servers host1:7070 -dataset /gpfs/dataset -epochs 3 -workers 8 read /gpfs/dataset/*.rec
+//	hvacc -servers host1:7070 -dataset /gpfs/dataset -batch-size 256 batch /gpfs/dataset/*.rec
 //	hvacc -servers host1:7070 -dataset /gpfs/dataset cat /gpfs/dataset/f0001.rec > local.rec
 package main
 
@@ -27,6 +28,7 @@ import (
 func usage() {
 	fmt.Fprintln(os.Stderr, `hvacc: commands
   read <path>...   read every file through HVAC and report throughput
+  batch <path>...  read the files in scatter-gather batches (one RPC per server per batch)
   cat <path>       stream one file to stdout (sequential reads, exercises readahead)`)
 	flag.PrintDefaults()
 }
@@ -40,6 +42,7 @@ func main() {
 		segSize   = flag.Int64("segment-size", 0, "segment size in bytes for segment-level caching; must match the servers (0 = whole-file)")
 		epochs    = flag.Int("epochs", 1, "number of passes over the file list (epoch 2+ should run at cache speed)")
 		workers   = flag.Int("workers", 4, "concurrent reader goroutines for read")
+		batchSize = flag.Int("batch-size", 256, "files per scatter-gather batch for batch")
 		callTO    = flag.Duration("call-timeout", 5*time.Second, "per-RPC deadline (0 = transport default, negative = disabled)")
 		retries   = flag.Int("retries", 0, "per-RPC attempt budget, first try included (0 = transport default)")
 	)
@@ -105,6 +108,42 @@ func main() {
 			os.Exit(1)
 		}
 
+	case "batch":
+		if *batchSize <= 0 {
+			fmt.Fprintln(os.Stderr, "hvacc: -batch-size must be positive")
+			os.Exit(2)
+		}
+		var bytes int64
+		fails := 0
+		start := time.Now()
+		for e := 0; e < *epochs; e++ {
+			epochStart := time.Now()
+			for off := 0; off < len(paths); off += *batchSize {
+				end := off + *batchSize
+				if end > len(paths) {
+					end = len(paths)
+				}
+				chunk := paths[off:end]
+				out, err := cli.ReadBatch(chunk)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hvacc: batch [%d:%d]: %v\n", off, end, err)
+					fails++
+					continue
+				}
+				for _, data := range out {
+					bytes += int64(len(data))
+				}
+			}
+			fmt.Printf("epoch %d: %d files in %v\n", e+1, len(paths), time.Since(epochStart).Round(time.Millisecond))
+		}
+		elapsed := time.Since(start)
+		mb := float64(bytes) / (1 << 20)
+		fmt.Printf("total: %.1f MiB in %v (%.1f MiB/s)\n", mb, elapsed.Round(time.Millisecond), mb/elapsed.Seconds())
+		printStats(cli)
+		if fails > 0 {
+			os.Exit(1)
+		}
+
 	case "cat":
 		if len(paths) != 1 {
 			usage()
@@ -136,6 +175,6 @@ func main() {
 func printStats(cli *hvac.Client) {
 	st := cli.Stats()
 	fmt.Fprintf(os.Stderr,
-		"client: redirected=%d passthrough=%d fallbacks=%d degrades=%d failovers=%d retries=%d readaheads=%d readahead-hits=%d bytes=%d\n",
-		st.Redirected, st.Passthrough, st.Fallbacks, st.Degrades, st.Failovers, st.Retries, st.Readaheads, st.ReadaheadHits, st.BytesRead)
+		"client: redirected=%d passthrough=%d fallbacks=%d degrades=%d failovers=%d retries=%d readaheads=%d readahead-hits=%d batch=%d batch-fallbacks=%d bytes=%d\n",
+		st.Redirected, st.Passthrough, st.Fallbacks, st.Degrades, st.Failovers, st.Retries, st.Readaheads, st.ReadaheadHits, st.BatchReads, st.BatchFallbacks, st.BytesRead)
 }

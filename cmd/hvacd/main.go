@@ -30,6 +30,8 @@ func main() {
 		cacheDir = flag.String("cache", "", "node-local cache directory (required)")
 		capacity = flag.Int64("capacity", 1600e9, "cache capacity in bytes (default: Summit's 1.6 TB NVMe)")
 		movers   = flag.Int("movers", 1, "data-mover workers")
+		demandQ  = flag.Int("demand-queue", 0, "demand fetch queue depth; full queue degrades the request to read-through (0 = default)")
+		prefQ    = flag.Int("prefetch-queue", 0, "prefetch hint queue depth; full queue drops hints (0 = default)")
 		evict    = flag.String("evict", "random", "eviction policy: random|lru|fifo|clock")
 		seed     = flag.Uint64("seed", 0, "seed for random eviction")
 		stats    = flag.Duration("stats", 0, "print stats every interval (0 = off)")
@@ -64,6 +66,8 @@ func main() {
 		CacheCapacity: *capacity,
 		Policy:        policy,
 		Movers:        *movers,
+		DemandQueue:   *demandQ,
+		PrefetchQueue: *prefQ,
 		WriteTimeout:  *writeTO,
 	})
 	if err != nil {
@@ -82,9 +86,9 @@ func main() {
 				select {
 				case <-t.C:
 					st := srv.Stats()
-					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB\n",
-						st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BytesServed, st.BytesFetched,
-						st.Evictions, srv.CachedFiles(), srv.CachedBytes())
+					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d batch=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB queue=%d prefetch-drops=%d demand-rejects=%d\n",
+						st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BatchEntries, st.BytesServed, st.BytesFetched,
+						st.Evictions, srv.CachedFiles(), srv.CachedBytes(), st.QueueDepth, st.PrefetchDrops, st.DemandRejects)
 					fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
 				case <-stop:
 					return

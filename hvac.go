@@ -69,7 +69,8 @@ type (
 )
 
 // StartServer launches an HVAC server instance (one data-mover per
-// configured worker, shared FIFO fetch queue, node-local cache store).
+// configured worker, two-level demand/prefetch fetch queue, node-local
+// cache store; cold reads are served from the in-flight fill).
 func StartServer(cfg ServerConfig) (*Server, error) { return core.StartServer(cfg) }
 
 // NewClient builds the client-side interception layer over a job's server

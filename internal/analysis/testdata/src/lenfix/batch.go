@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Batch-decode shapes (OpReadBatch): the blob carries a u16 entry count
+// and a per-entry u32 payload length, every one of them peer-chosen.
+// Each must be compared against the remaining input before it sizes an
+// allocation or a copy.
+
+const maxBatch = 512
+
+// decodeBatchBad trusts both wire lengths: the count picks the slice
+// allocation and each entry length picks a payload allocation.
+func decodeBatchBad(blob []byte) [][]byte {
+	count := int(binary.LittleEndian.Uint16(blob))
+	out := make([][]byte, 0, count) // want "make size .* derives from a wire-decoded length"
+	off := 2
+	for len(out) < count && off+5 <= len(blob) {
+		n := binary.LittleEndian.Uint32(blob[off+1:])
+		off += 5
+		buf := make([]byte, n) // want "make size .* derives from a wire-decoded length"
+		copy(buf, blob[off:])
+		out = append(out, buf)
+		off += int(n)
+	}
+	return out
+}
+
+// relayBatchEntryBad streams a peer-chosen number of payload bytes.
+func relayBatchEntryBad(w io.Writer, r io.Reader, hdr []byte) error {
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	_, err := io.CopyN(w, r, int64(n)) // want "io.CopyN size .* derives from a wire-decoded length"
+	return err
+}
+
+// decodeBatchChecked bounds the count against a protocol limit and each
+// entry length against the bytes actually present before trusting them —
+// the shape DecodeBatchResults uses.
+func decodeBatchChecked(blob []byte) ([][]byte, error) {
+	count := int(binary.LittleEndian.Uint16(blob))
+	if count == 0 || count > maxBatch {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([][]byte, 0, count)
+	off := 2
+	for len(out) < count {
+		if off+5 > len(blob) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		n := binary.LittleEndian.Uint32(blob[off+1:])
+		off += 5
+		if int64(n) > int64(len(blob)-off) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		buf := make([]byte, n)
+		copy(buf, blob[off:])
+		out = append(out, buf)
+		off += int(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package cachestore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Fill is an in-progress streaming Put: the writer (a data-mover)
+// appends bytes as they arrive from the PFS while readers are served the
+// prefix that has already landed. This is the serve-from-fill primitive:
+// a cold read no longer needs its own PFS pass — it attaches to the fill
+// and blocks only until the segment it wants is down.
+//
+// Life cycle: PutWriter creates the fill holding one reference for the
+// writer; Commit (or Abort) finishes the write side and drops that
+// reference. Readers bracket each ReadAt between Acquire and Release;
+// once the last reference is released after the fill has finished, the
+// backing read handle closes. A committed fill's bytes stay readable by
+// existing holders even if the cache entry is evicted immediately — the
+// open descriptor outlives the unlink.
+type Fill struct {
+	s    *Store
+	key  string
+	size int64
+	tmp  *os.File // write handle, owned by the filler
+	rd   *os.File // shared read handle for attached readers
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	written  int64
+	err      error // terminal error after Abort
+	finished bool  // Commit or Abort has run
+	refs     int
+}
+
+// PutWriter starts a streaming insert of size bytes under key. Unlike
+// Put, nothing is reserved in the index until Commit: Contains stays
+// false during the fill (callers attach through their own fill registry,
+// not the index).
+func (s *Store) PutWriter(key string, size int64) (*Fill, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("cachestore: negative fill size %d for %s", size, key)
+	}
+	tmp, err := os.CreateTemp(s.dir, "fill-*")
+	if err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	rd, err := os.Open(tmp.Name())
+	if err != nil {
+		_ = tmp.Close()           // the open failure is the error to report
+		_ = os.Remove(tmp.Name()) // nothing was written yet
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	f := &Fill{s: s, key: key, size: size, tmp: tmp, rd: rd, refs: 1}
+	f.cond = sync.NewCond(&f.mu)
+	return f, nil
+}
+
+// Key returns the cache key being filled.
+func (f *Fill) Key() string { return f.key }
+
+// Size returns the declared total size of the fill.
+func (f *Fill) Size() int64 { return f.size }
+
+// Write appends p to the fill and wakes readers waiting for the new
+// prefix. Only the creator may call it, sequentially.
+func (f *Fill) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	at := f.written
+	f.mu.Unlock()
+	if at+int64(len(p)) > f.size {
+		return 0, fmt.Errorf("cachestore: fill %s overflows declared size %d", f.key, f.size)
+	}
+	n, err := f.tmp.WriteAt(p, at)
+	f.mu.Lock()
+	f.written += int64(n)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	return n, err
+}
+
+// Acquire takes a read reference. It fails once the fill has finished
+// and every earlier holder released — the backing handle is closed then,
+// and the caller should read the committed cache entry (or the PFS)
+// instead.
+func (f *Fill) Acquire() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refs == 0 {
+		return false
+	}
+	f.refs++
+	return true
+}
+
+// Release drops a reference taken by Acquire (or the creator's implicit
+// one, dropped by Commit/Abort). The last release after finishing closes
+// the shared read handle.
+func (f *Fill) Release() {
+	f.mu.Lock()
+	f.refs--
+	done := f.refs == 0
+	f.mu.Unlock()
+	if done {
+		_ = f.rd.Close() // best-effort: the handle is read-only
+	}
+}
+
+// ReadAt serves p from the fill at off, blocking until the requested
+// range has been written, the fill aborts, or the declared size bounds
+// the read (short reads at the tail return io.EOF, matching os.File).
+// Callers must hold a reference via Acquire.
+func (f *Fill) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("cachestore: negative fill read offset %d", off)
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > f.size {
+		want = f.size - off
+	}
+	f.mu.Lock()
+	for f.written < off+want && f.err == nil {
+		f.cond.Wait()
+	}
+	err := f.err
+	f.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	n, rerr := f.rd.ReadAt(p[:want], off)
+	if rerr == nil && want < int64(len(p)) {
+		rerr = io.EOF
+	}
+	return n, rerr
+}
+
+// Commit completes the fill: the temp file is inserted into the index
+// (evicting as needed) and renamed into place. A short fill is an error.
+// Either way the writer's reference is dropped and waiting readers are
+// woken. Readers holding references keep reading the same descriptor —
+// rename does not invalidate it.
+func (f *Fill) Commit() error {
+	f.mu.Lock()
+	if f.finished {
+		f.mu.Unlock()
+		return fmt.Errorf("cachestore: fill %s already finished", f.key)
+	}
+	short := f.written != f.size
+	f.mu.Unlock()
+	if short {
+		err := fmt.Errorf("cachestore: short fill for %s: %d of %d bytes", f.key, f.written, f.size)
+		f.Abort(err)
+		return err
+	}
+	err := f.tmp.Close()
+	if err == nil {
+		err = f.insert()
+	}
+	if err != nil {
+		f.mu.Lock()
+		f.err = err
+		f.finished = true
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		_ = os.Remove(f.tmp.Name()) // the insert failure is the error to report
+		f.Release()
+		return err
+	}
+	f.mu.Lock()
+	f.finished = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.Release()
+	return nil
+}
+
+// insert admits the finished temp file into the index and renames it to
+// its content path, mirroring Put's eviction handling.
+func (f *Fill) insert() error {
+	s := f.s
+	s.mu.Lock()
+	if s.ix.Peek(f.key) {
+		// A concurrent Put won the key: keep the resident copy.
+		s.mu.Unlock()
+		return os.Remove(f.tmp.Name())
+	}
+	evicted, err := s.ix.Insert(f.key, f.size)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	for _, victim := range evicted {
+		_ = os.Remove(s.pathFor(victim)) // eviction is best-effort; the index entry is already gone
+		s.hp.drop(victim)
+	}
+	s.ix.Pin(f.key)
+	s.mu.Unlock()
+
+	err = os.Rename(f.tmp.Name(), s.pathFor(f.key))
+	s.mu.Lock()
+	s.ix.Unpin(f.key)
+	if err != nil {
+		s.ix.Remove(f.key)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Abort terminates the fill with err (which readers will observe),
+// removes the temp file, and drops the writer's reference.
+func (f *Fill) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("cachestore: fill %s aborted", f.key)
+	}
+	f.mu.Lock()
+	if f.finished {
+		f.mu.Unlock()
+		return
+	}
+	f.err = err
+	f.finished = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	_ = f.tmp.Close()           // teardown: the abort error is what matters
+	_ = os.Remove(f.tmp.Name()) // best-effort cleanup of the partial fill
+	f.Release()
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The ISSUE 5 cold-path benchmarks. Two shapes matter for the first
+// epoch (the paper's Fig. 6-8 regime, before the cache is warm):
+//
+//   - BenchmarkColdEpoch64: a full cold epoch — 64 files, every open a
+//     miss, each served while the data-mover fills the cache. The
+//     pfsopens/op metric counts os.Open calls against the PFS tree;
+//     before serve-from-fill each cold file cost two passes (one
+//     read-through in the handler, one in the mover's copyIn), after it
+//     costs exactly one.
+//   - BenchmarkSmallFilesPerFile256 / BenchmarkSmallFilesBatch256: a
+//     DeepCAM-shaped small-sample batch (256 x 4 KiB) read warm, per
+//     file vs. through one scatter-gather OpReadBatch per server. The
+//     rpcs/op metric counts transport-level calls.
+//
+// Fixed -benchtime iteration counts (scripts/bench.sh) make the numbers
+// comparable across runs; BENCH_PR5.json holds the committed baseline.
+
+// benchWritePFS writes files outside the testing.T helpers so benchmarks
+// can use it with their own directories.
+func benchWritePFS(b *testing.B, dir string, files, size int) []string {
+	b.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	paths := make([]string, files)
+	for i := range paths {
+		p := filepath.Join(dir, fmt.Sprintf("f%04d.bin", i))
+		content := make([]byte, size)
+		for j := range content {
+			content[j] = byte(i + j)
+		}
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+// BenchmarkColdEpoch64 measures one fully cold epoch: fresh server and
+// cache per iteration, 64 x 64 KiB files read once each. ns/op is the
+// cold-epoch wall time; pfsopens/op and pfsbytes/op count the PFS
+// traffic the epoch cost.
+func BenchmarkColdEpoch64(b *testing.B) {
+	const (
+		files    = 64
+		fileSize = 64 << 10
+	)
+	pfsDir := filepath.Join(b.TempDir(), "dataset")
+	paths := benchWritePFS(b, pfsDir, files, fileSize)
+	var opens, bytes int64
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cacheDir := filepath.Join(b.TempDir(), fmt.Sprintf("nvme%d", i))
+		srv, err := StartServer(ServerConfig{
+			ListenAddr: "127.0.0.1:0",
+			PFSDir:     pfsDir,
+			CacheDir:   cacheDir,
+			OpenPFS: func(path string) (*os.File, error) {
+				f, err := os.Open(path) //hvac:pfs-fallback benchmark seam: counting the server's own PFS passes
+				if err == nil {
+					opens++
+					if fi, serr := f.Stat(); serr == nil {
+						bytes += fi.Size()
+					}
+				}
+				return f, err
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cli, err := NewClient(ClientConfig{Servers: []string{srv.Addr()}, DatasetDir: pfsDir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		for _, p := range paths {
+			if _, err := cli.ReadAll(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv.WaitIdle() // the epoch is not over until the fills land
+
+		b.StopTimer()
+		cli.Close()
+		srv.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(opens)/float64(b.N), "pfsopens/op")
+	b.ReportMetric(float64(bytes)/float64(b.N), "pfsbytes/op")
+}
+
+// smallFileCluster starts a warm 2-server cluster over 256 x 4 KiB files
+// and returns the client plus the paths.
+func smallFileCluster(b *testing.B) ([]*Server, *Client, []string) {
+	const (
+		files    = 256
+		fileSize = 4 << 10
+	)
+	pfsDir := filepath.Join(b.TempDir(), "dataset")
+	paths := benchWritePFS(b, pfsDir, files, fileSize)
+	servers := make([]*Server, 2)
+	addrs := make([]string, len(servers))
+	for i := range servers {
+		srv, err := StartServer(ServerConfig{
+			ListenAddr: "127.0.0.1:0",
+			PFSDir:     pfsDir,
+			CacheDir:   filepath.Join(b.TempDir(), fmt.Sprintf("nvme%d", i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Close)
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	cli, err := NewClient(ClientConfig{Servers: addrs, DatasetDir: pfsDir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cli.Close)
+	// Warm every cache so both benchmarks measure pure serving cost.
+	for _, p := range paths {
+		if _, err := cli.ReadAll(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range servers {
+		s.WaitIdle()
+	}
+	return servers, cli, paths
+}
+
+// transportCalls sums the RPC calls issued across the client's links.
+func transportCalls(cli *Client) int64 {
+	var n int64
+	for _, conn := range cli.conns {
+		if cc, ok := conn.(interface{ Calls() int64 }); ok {
+			n += cc.Calls()
+		}
+	}
+	return n
+}
+
+// BenchmarkSmallFilesPerFile256 reads the warm 256-file set one full
+// <open, read, close> transaction per file — the pre-batching loader
+// access pattern (3 RPCs per file).
+func BenchmarkSmallFilesPerFile256(b *testing.B) {
+	_, cli, paths := smallFileCluster(b)
+	before := transportCalls(cli)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			if _, err := cli.ReadAll(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(transportCalls(cli)-before)/float64(b.N), "rpcs/op")
+}
+
+// BenchmarkSmallFilesBatch256 reads the same warm 256-file set through
+// ReadBatch: one OpReadBatch round trip per home server instead of 3
+// RPCs per file.
+func BenchmarkSmallFilesBatch256(b *testing.B) {
+	_, cli, paths := smallFileCluster(b)
+	before := transportCalls(cli)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := cli.ReadBatch(paths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(paths) || out[0] == nil {
+			b.Fatal("batch came back incomplete")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(transportCalls(cli)-before)/float64(b.N), "rpcs/op")
+	if st := cli.Stats(); st.BatchFallbacks != 0 {
+		b.Fatalf("warm batch benchmark hit %d fallbacks", st.BatchFallbacks)
+	}
+}

@@ -21,11 +21,13 @@ import (
 // invariants the paper claims but the hand-rolled failure tests barely
 // touch:
 //
-//  1. every successful read is byte-identical to the PFS copy;
+//  1. every successful read is byte-identical to the PFS copy —
+//     including reads through the batched OpReadBatch path;
 //  2. the accounting identity holds — client side, every open lands in
-//     exactly one of Redirected (which includes Failovers) or Fallbacks;
-//     server side, every served open/segment-read is exactly one of
-//     Hit or ReadThrough;
+//     exactly one of Redirected (which includes Failovers) or Fallbacks,
+//     and every batch entry in exactly one of BatchReads or
+//     BatchFallbacks; server side, every served open/segment-read/batch
+//     entry is exactly one of Hit or ReadThrough;
 //  3. teardown leaks no goroutines;
 //  4. with DisableFallback, the error chain names the failing server.
 //
@@ -99,6 +101,17 @@ func chaosMatrix() []chaosCase {
 			name: "segmented-under-corruption", servers: 3, files: 4, size: 40_000, epochs: 2, segSize: 8 << 10,
 			sched: faultnet.Schedule{Seed: 9, Rules: []faultnet.Rule{
 				{Op: transport.OpReadAt, Prob: 0.15, Fault: faultnet.Truncate},
+			}},
+		},
+		{
+			// Faults aimed squarely at OpReadBatch: refused calls burn the
+			// retry budget and then degrade the whole chunk to per-file
+			// reads; truncated response frames exercise the batch decode
+			// error path. Either way the batch must come back intact.
+			name: "batch-faults", servers: 3, files: 18, size: 1024, epochs: 2,
+			sched: faultnet.Schedule{Seed: 14, Rules: []faultnet.Rule{
+				{Op: transport.OpReadBatch, Every: 2, Fault: faultnet.Refuse},
+				{Op: transport.OpReadBatch, Prob: 0.3, Fault: faultnet.Truncate},
 			}},
 		},
 		{
@@ -185,7 +198,7 @@ func TestChaosMatrix(t *testing.T) {
 			defer inj.Close()
 			servers, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
 
-			opens := 0
+			opens, batchEntries := 0, 0
 			for e := 0; e < tc.epochs; e++ {
 				for _, p := range paths {
 					got, err := cli.ReadAll(p)
@@ -198,18 +211,46 @@ func TestChaosMatrix(t *testing.T) {
 						t.Fatalf("epoch %d: %s corrupted under faults (%d bytes, want %d)", e, p, len(got), len(want[p]))
 					}
 				}
+				// The same epoch again through the scatter-gather path: one
+				// OpReadBatch per home server, with whatever degradation the
+				// schedule forces, must still return every file intact.
+				batch, err := cli.ReadBatch(paths)
+				if err != nil {
+					t.Fatalf("epoch %d: batch read under faults: %v", e, err)
+				}
+				for i, p := range paths {
+					if !bytes.Equal(batch[i], want[p]) {
+						t.Fatalf("epoch %d: batch entry %s corrupted under faults (%d bytes, want %d)", e, p, len(batch[i]), len(want[p]))
+					}
+				}
+				if tc.segSize > 0 {
+					// Segmented deployments home each segment independently,
+					// so ReadBatch degrades to per-file reads: those land in
+					// the open accounting, not the batch counters.
+					opens += len(paths)
+				} else {
+					batchEntries += len(paths)
+				}
 			}
 			if inj.Injected() == 0 {
 				t.Fatalf("schedule %q injected no faults; the case is vacuous", tc.name)
 			}
 
-			// Invariant 2, client side: every open is exactly one of
-			// Redirected or Fallbacks; failovers are a subset of the
-			// redirected opens.
+			// Invariant 2, client side: every batch entry is exactly one of
+			// BatchReads or BatchFallbacks, and every open lands in exactly
+			// one of Redirected or Fallbacks. The chaos faults fail whole
+			// calls (the files are far below the frame budget and the PFS is
+			// healthy, so StatusAgain and per-entry errors cannot occur):
+			// each BatchFallback entry is served by exactly one ordinary
+			// per-file read, which the open identity has to absorb.
 			st := cli.Stats()
-			if st.Redirected+st.Fallbacks != int64(opens) {
-				t.Fatalf("open accounting broken: redirected(%d)+fallbacks(%d) != opens(%d); stats %+v",
-					st.Redirected, st.Fallbacks, opens, st)
+			if st.BatchReads+st.BatchFallbacks != int64(batchEntries) {
+				t.Fatalf("batch accounting broken: batchreads(%d)+batchfallbacks(%d) != batch entries(%d); stats %+v",
+					st.BatchReads, st.BatchFallbacks, batchEntries, st)
+			}
+			if st.Redirected+st.Fallbacks != int64(opens)+st.BatchFallbacks {
+				t.Fatalf("open accounting broken: redirected(%d)+fallbacks(%d) != opens(%d)+batchfallbacks(%d); stats %+v",
+					st.Redirected, st.Fallbacks, opens, st.BatchFallbacks, st)
 			}
 			if st.Failovers > st.Redirected {
 				t.Fatalf("failovers(%d) exceed redirected opens(%d)", st.Failovers, st.Redirected)
@@ -221,14 +262,14 @@ func TestChaosMatrix(t *testing.T) {
 				t.Fatalf("chaos reads leaked outside the dataset dir: %+v", st)
 			}
 
-			// Invariant 2, server side: everything served is exactly one
-			// of Hit or ReadThrough (segment reads replace opens in
-			// segmented mode).
+			// Invariant 2, server side: everything served — opens, batch
+			// entries, and segment reads in segmented mode — is exactly one
+			// of Hit or ReadThrough.
 			for i, s := range servers {
 				ss := s.Stats()
-				served := ss.Opens
+				served := ss.Opens + ss.BatchEntries
 				if tc.segSize > 0 {
-					served = ss.Opens + ss.Reads
+					served = ss.Opens + ss.Reads + ss.BatchEntries
 				}
 				if ss.Hits+ss.ReadThroughs != served {
 					t.Fatalf("srv%d: hits(%d)+readthroughs(%d) != served(%d); stats %+v",
@@ -266,6 +307,9 @@ func TestChaosScheduleReplaysAcrossClusters(t *testing.T) {
 				if _, err := cli.ReadAll(p); err != nil {
 					t.Fatalf("read %s: %v", p, err)
 				}
+			}
+			if _, err := cli.ReadBatch(paths); err != nil {
+				t.Fatalf("batch read: %v", err)
 			}
 		}
 		return inj.Trace()
@@ -345,6 +389,67 @@ func TestChaosMidReadDegradation(t *testing.T) {
 	}
 	if st := cli.Stats(); st.Degrades != 1 {
 		t.Fatalf("degrades = %d, want exactly 1 (the degraded handle)", st.Degrades)
+	}
+}
+
+// Per-entry batch degradation under faults: an entry the home server
+// cannot serve (here: outside its PFSDir export) comes back StatusError
+// and falls back to the PFS alone, while the rest of the batch — and a
+// live fault schedule delaying the calls — proceeds through the cache.
+// The chaos matrix cannot reach this path (its faults fail whole calls),
+// so it gets its own scheduled case.
+func TestChaosBatchPerEntryFallback(t *testing.T) {
+	testutil.CheckLeaks(t)
+	tc := chaosCase{
+		name: "batch-entry", servers: 2, files: 8, size: 1024, epochs: 2,
+		sched: faultnet.Schedule{Seed: 15, Rules: []faultnet.Rule{
+			{Op: transport.OpReadBatch, Every: 2, Fault: faultnet.Delay, Delay: time.Millisecond},
+		}},
+	}
+	root := t.TempDir()
+	pfsDir := filepath.Join(root, "dataset")
+	paths := writePFS(t, pfsDir, tc.files, tc.size)
+	// One batch member lives inside the client's dataset dir but outside
+	// the servers' PFSDir export: its home server must fail exactly that
+	// entry, never the batch.
+	stray := filepath.Join(root, "stray.bin")
+	strayContent := bytes.Repeat([]byte{0x5a}, tc.size)
+	if err := os.WriteFile(stray, strayContent, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]string(nil), paths...), stray)
+
+	inj := faultnet.New(tc.sched)
+	defer inj.Close()
+	_, cli := startChaosCluster(t, pfsDir, tc, inj, func(c *ClientConfig) { c.DatasetDir = root })
+
+	for e := 0; e < tc.epochs; e++ {
+		got, err := cli.ReadBatch(all)
+		if err != nil {
+			t.Fatalf("epoch %d: batch read: %v", e, err)
+		}
+		for i, p := range paths {
+			content, rerr := os.ReadFile(p)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(got[i], content) {
+				t.Fatalf("epoch %d: batch entry %s corrupted", e, p)
+			}
+		}
+		if !bytes.Equal(got[len(paths)], strayContent) {
+			t.Fatalf("epoch %d: stray entry not served via PFS fallback", e)
+		}
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("schedule injected no faults; the case is vacuous")
+	}
+	st := cli.Stats()
+	if st.BatchFallbacks != int64(tc.epochs) {
+		t.Fatalf("batch fallbacks = %d, want %d (one stray entry per epoch)", st.BatchFallbacks, tc.epochs)
+	}
+	if st.BatchReads != int64(tc.epochs*tc.files) {
+		t.Fatalf("batch reads = %d, want %d (every in-export entry batch-served)", st.BatchReads, tc.epochs*tc.files)
 	}
 }
 

@@ -69,15 +69,17 @@ type ClientConfig struct {
 
 // ClientStats counts client-side activity.
 type ClientStats struct {
-	Redirected    int64 // opens served via HVAC
-	Passthrough   int64 // opens outside the dataset dir
-	Fallbacks     int64 // opens that fell back to the PFS after server failure
-	Degrades      int64 // redirected handles demoted to PFS mid-read (§III-H)
-	Failovers     int64 // opens served by a non-primary replica
-	Retries       int64 // transport-level retry attempts spent across all server links
-	Readaheads    int64 // sequential-read chunks requested ahead of the caller
-	ReadaheadHits int64 // reads served from a completed readahead chunk
-	BytesRead     int64
+	Redirected     int64 // opens served via HVAC
+	Passthrough    int64 // opens outside the dataset dir
+	Fallbacks      int64 // opens that fell back to the PFS after server failure
+	Degrades       int64 // redirected handles demoted to PFS mid-read (§III-H)
+	Failovers      int64 // opens served by a non-primary replica
+	Retries        int64 // transport-level retry attempts spent across all server links
+	Readaheads     int64 // sequential-read chunks requested ahead of the caller
+	ReadaheadHits  int64 // reads served from a completed readahead chunk
+	BatchReads     int64 // files served through a scatter-gather OpReadBatch entry
+	BatchFallbacks int64 // batch entries that degraded to per-file or PFS reads
+	BytesRead      int64
 }
 
 // Client is a real-mode HVAC client: the Go equivalent of the LD_PRELOAD
@@ -564,15 +566,64 @@ func (f *File) Close() error {
 // performance overhead of epoch-1"). It returns the number of files whose
 // prefetch was accepted; unreachable servers are skipped (their files
 // will be cached on first read instead).
+// The hints ride one OpReadBatch (with BatchFlagPrefetch) per home
+// server instead of one RPC per file; a failed batch call degrades to
+// the per-file OpPrefetch hints.
 func (c *Client) Prefetch(paths []string) int {
-	accepted := 0
+	// Group by home server into ordered slices (not a map keyed by server:
+	// the sim mirror shares this shape and must iterate deterministically).
+	groups := make([][]string, len(c.conns))
 	for _, path := range paths {
 		abs, err := filepath.Abs(path)
 		if err != nil || !c.Intercepts(abs) {
 			continue
 		}
-		srv := c.conns[c.Home(abs)]
-		resp, err := srv.Call(&transport.Request{Op: transport.OpPrefetch, Path: abs})
+		home := c.Home(abs)
+		groups[home] = append(groups[home], abs)
+	}
+	accepted := 0
+	for srv, group := range groups {
+		for start := 0; start < len(group); {
+			end := batchSpan(start, len(group), func(i int) int { return len(group[i]) })
+			if end == start {
+				// This path alone cannot be encoded; the per-file hint
+				// will refuse it too, but keeps the loop moving.
+				end = start + 1
+			}
+			accepted += c.prefetchGroup(srv, group[start:end])
+			start = end
+		}
+	}
+	return accepted
+}
+
+// prefetchGroup sends one batched prefetch hint to server srv, counting
+// accepted entries. Any batch-level failure retries the group as
+// per-file OpPrefetch hints.
+func (c *Client) prefetchGroup(srv int, paths []string) int {
+	if blob, err := transport.EncodeBatchPaths(paths); err == nil {
+		resp, cerr := c.conns[srv].Call(&transport.Request{
+			Op: transport.OpReadBatch, Handle: transport.BatchFlagPrefetch, Path: blob,
+		})
+		if cerr == nil {
+			if resp.OK() {
+				if results, derr := transport.DecodeBatchResults(resp.Data, len(paths)); derr == nil {
+					accepted := 0
+					for i := range results {
+						if results[i].Status == transport.StatusOK {
+							accepted++
+						}
+					}
+					resp.Release()
+					return accepted
+				}
+			}
+			resp.Release()
+		}
+	}
+	accepted := 0
+	for _, p := range paths {
+		resp, err := c.conns[srv].Call(&transport.Request{Op: transport.OpPrefetch, Path: p})
 		if err == nil {
 			if resp.OK() {
 				accepted++
@@ -581,6 +632,183 @@ func (c *Client) Prefetch(paths []string) int {
 		}
 	}
 	return accepted
+}
+
+// batchSpan returns the end of the longest run starting at start whose
+// batch encoding fits one request: at most MaxBatchEntries entries, and
+// a path list within the u16 path field of the request frame. length
+// reports the byte length of entry i.
+func batchSpan(start, n int, length func(int) int) int {
+	total := 2
+	end := start
+	for end < n && end-start < transport.MaxBatchEntries {
+		need := 2 + length(end)
+		if total+need > 1<<16-1 {
+			break
+		}
+		total += need
+		end++
+	}
+	return end
+}
+
+// ReadBatch reads every path's full content in one scatter-gather pass:
+// the paths are grouped by home server and each group fetched through
+// OpReadBatch — one RPC round trip per (server, batch) instead of the
+// <open, read, close> triple per file, which is where small-sample
+// workloads spend their time. The result is indexed like paths.
+//
+// Degradation is per entry: StatusAgain entries (over the response frame
+// budget) are re-read individually, failed entries fall back to the PFS
+// (unless DisableFallback, which turns the first failure into an error),
+// and a failed batch call degrades its whole group to per-file reads.
+// Segment-striped deployments home each segment independently, so
+// whole-file batching does not compose there; ReadBatch then reads per
+// file.
+func (c *Client) ReadBatch(paths []string) ([][]byte, error) {
+	out := make([][]byte, len(paths))
+	if len(paths) == 0 {
+		return out, nil
+	}
+	if c.cfg.SegmentSize > 0 {
+		for i, p := range paths {
+			data, err := c.ReadAll(p)
+			if err != nil {
+				return out, err
+			}
+			out[i] = data
+		}
+		return out, nil
+	}
+	abspaths := make([]string, len(paths))
+	groups := make([][]int, len(c.conns)) // path indices by home server, in order
+	for i, p := range paths {
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return out, err
+		}
+		abspaths[i] = abs
+		if !c.Intercepts(abs) {
+			data, err := os.ReadFile(abs) //hvac:pfs-fallback passthrough: path is outside the dataset dir, so the §III-C contract does not redirect it
+			if err != nil {
+				return out, err
+			}
+			out[i] = data
+			c.bump(func(s *ClientStats) { s.Passthrough++ })
+			continue
+		}
+		home := c.Home(abs)
+		groups[home] = append(groups[home], i)
+	}
+	for srv, group := range groups {
+		for start := 0; start < len(group); {
+			end := batchSpan(start, len(group), func(i int) int { return len(abspaths[group[i]]) })
+			if end == start {
+				end = start + 1 // unencodable path: the per-file fallback handles it
+			}
+			if err := c.readBatchGroup(srv, group[start:end], abspaths, out); err != nil {
+				return out, err
+			}
+			start = end
+		}
+	}
+	return out, nil
+}
+
+// readBatchGroup fetches one server's batch chunk into out. Batch-level
+// failures degrade every entry to readBatchEntryFallback; per-entry
+// statuses degrade only their own path.
+func (c *Client) readBatchGroup(srv int, idxs []int, abspaths []string, out [][]byte) error {
+	group := make([]string, len(idxs))
+	for i, ix := range idxs {
+		group[i] = abspaths[ix]
+	}
+	blob, err := transport.EncodeBatchPaths(group)
+	if err != nil {
+		return c.readBatchDegraded(idxs, abspaths, out)
+	}
+	resp, err := c.conns[srv].Call(&transport.Request{Op: transport.OpReadBatch, Path: blob})
+	if err != nil || !resp.OK() {
+		if err == nil {
+			resp.Release()
+		}
+		return c.readBatchDegraded(idxs, abspaths, out)
+	}
+	results, derr := transport.DecodeBatchResults(resp.Data, len(idxs))
+	if derr != nil {
+		resp.Release()
+		return c.readBatchDegraded(idxs, abspaths, out)
+	}
+	// Copy the OK payloads out of the pooled frame, remember the rest;
+	// their fallbacks run after Release so the frame is not pinned across
+	// further RPCs.
+	type retry struct {
+		ix  int
+		err error // nil for StatusAgain (frame budget), set for StatusError
+	}
+	var retries []retry
+	served, bytes := 0, 0
+	for i := range results {
+		ix := idxs[i]
+		switch results[i].Status {
+		case transport.StatusOK:
+			out[ix] = append([]byte(nil), results[i].Data...)
+			served++
+			bytes += len(results[i].Data)
+		case transport.StatusAgain:
+			retries = append(retries, retry{ix: ix})
+		default:
+			retries = append(retries, retry{ix: ix, err: fmt.Errorf("hvac client: batch read %s: %s", abspaths[ix], results[i].Err)})
+		}
+	}
+	resp.Release()
+	if served > 0 {
+		c.bump(func(s *ClientStats) {
+			s.BatchReads += int64(served)
+			s.BytesRead += int64(bytes)
+		})
+	}
+	for _, r := range retries {
+		if r.err == nil {
+			// Over the frame budget: the server is healthy, the file is just
+			// big. Read it through the ordinary transaction.
+			data, err := c.ReadAll(abspaths[r.ix])
+			if err != nil {
+				return err
+			}
+			out[r.ix] = data
+			c.bump(func(s *ClientStats) { s.BatchFallbacks++ })
+			continue
+		}
+		if c.cfg.DisableFallback {
+			return r.err
+		}
+		data, ferr := os.ReadFile(abspaths[r.ix]) //hvac:pfs-fallback designated batch-entry fallback: the home server failed this entry, the rest of the batch proceeds (§III-H)
+		if ferr != nil {
+			return fmt.Errorf("hvac client: batch read %s: server failed (%v) and PFS fallback failed: %w", abspaths[r.ix], r.err, ferr)
+		}
+		out[r.ix] = data
+		c.bump(func(s *ClientStats) {
+			s.BatchFallbacks++
+			s.BytesRead += int64(len(data))
+		})
+	}
+	return nil
+}
+
+// readBatchDegraded serves a batch chunk whose RPC (or encoding) failed:
+// every entry degrades to the ordinary per-file read, which carries its
+// own replica and PFS fallback handling.
+func (c *Client) readBatchDegraded(idxs []int, abspaths []string, out [][]byte) error {
+	c.bump(func(s *ClientStats) { s.BatchFallbacks += int64(len(idxs)) })
+	for _, ix := range idxs {
+		data, err := c.ReadAll(abspaths[ix])
+		if err != nil {
+			return err
+		}
+		out[ix] = data
+	}
+	return nil
 }
 
 // ReadAll reads the whole file through the <open, read, close> transaction

@@ -1,11 +1,15 @@
 // Package core implements HVAC itself — the paper's contribution: a
 // client/server read-only cache (§III).
 //
-// Server side: RPC handlers enqueue forwarded file I/O onto a shared FIFO
-// queue drained by dedicated data-mover workers (§III-D). On the first
-// read of a file the data-mover copies it from the PFS to the node-local
-// store; subsequent reads are served from the cache, bypassing the PFS
-// entirely. A file is copied at most once even under concurrent requests.
+// Server side: RPC handlers forward file I/O to a pool of data-mover
+// workers (§III-D) through a two-level queue: demand misses (a client is
+// waiting on the bytes) preempt prefetch hints (§IV-C pre-population).
+// On the first read of a file the assigned mover copies it from the PFS
+// into the node-local store in a single pass; the requesting handlers
+// are served directly from that in-flight fill as the bytes land
+// (serve-from-fill), so a cold file costs exactly one PFS read. A file
+// is copied at most once even under concurrent requests (the fills are
+// single-flighted per cache key).
 //
 // Client side: an interception layer redirects <open, read, close> for
 // paths under the dataset directory (the HVAC_DATASET_DIR contract of
@@ -21,7 +25,9 @@
 // when warm (DESIGN.md §9): stats are typed atomics, the handle table is
 // sharded (handles.go), payload buffers are pooled (transport.Response
 // ownership), and the only mutex left — Server.mu — guards just the
-// data-mover dedup map, off the read path entirely.
+// data-mover single-flight map, off the warm read path entirely. The
+// cold path's state machine (miss → fill registration → serve-from-fill
+// → cache hit) is documented in DESIGN.md §10.
 package core
 
 import (
@@ -39,6 +45,14 @@ import (
 	"hvac/internal/cachestore"
 	"hvac/internal/metrics"
 	"hvac/internal/transport"
+)
+
+// Default capacities of the two mover queues. Sends never block: a full
+// demand queue degrades that request to handler-side read-through, a
+// full prefetch queue drops the hint (counted in PrefetchDrops).
+const (
+	defaultDemandQueue   = 1024
+	defaultPrefetchQueue = 4096
 )
 
 // ServerConfig configures a real-mode HVAC server instance.
@@ -67,25 +81,46 @@ type ServerConfig struct {
 	// a connection goroutine; 0 means transport.DefaultWriteTimeout,
 	// negative disables the deadline.
 	WriteTimeout time.Duration
+	// DemandQueue and PrefetchQueue cap the two mover queues (0 means the
+	// package defaults). Demand overflows degrade the request to
+	// handler-side read-through; prefetch overflows drop the hint.
+	DemandQueue   int
+	PrefetchQueue int
+	// OpenPFS overrides how the server opens source files on the PFS;
+	// nil means os.Open. Tests use it to count PFS passes (the
+	// one-read-per-cold-file property), deployments can route it at an
+	// alternative PFS mount.
+	OpenPFS func(path string) (*os.File, error)
 }
 
 // ServerStats counts server-side activity. The counters satisfy an
-// accounting identity checked by the stress tests: every whole-file open
-// and every segment read is served either from the cache (Hits) or read
-// through from the PFS (ReadThroughs), so
+// accounting identity checked by the stress and chaos tests: every
+// whole-file open, every segment read and every batch entry is served
+// either from the cache (Hits) or sourced from the PFS (ReadThroughs),
+// so
 //
-//	Hits + ReadThroughs == Opens + segment Reads
+//	Hits + ReadThroughs == Opens + segment Reads + BatchEntries
 //
-// Misses counts completed background copies, which lag ReadThroughs (the
-// data-mover dedups concurrent first reads and runs behind the request
-// path).
+// Misses counts completed background fills, which lag ReadThroughs (the
+// data-mover single-flights concurrent first reads and may still be
+// streaming when the request is answered from the fill).
 type ServerStats struct {
 	Opens, Reads, Closes int64
 	Hits, Misses         int64
 	ReadThroughs         int64
+	BatchEntries         int64
 	BytesServed          int64
 	BytesFetched         int64
 	Evictions            int64
+	// QueueDepth is a gauge: tasks sitting in the two mover queues at
+	// snapshot time (demand + prefetch).
+	QueueDepth int64
+	// PrefetchDrops counts prefetch hints dropped on a full queue —
+	// backpressure instead of unbounded blocking sends.
+	PrefetchDrops int64
+	// DemandRejects counts demand fetches refused on a full queue; the
+	// refused request is served read-through by its handler instead.
+	DemandRejects int64
 }
 
 // serverCounters is the live form of ServerStats: typed atomics, so the
@@ -95,61 +130,98 @@ type serverCounters struct {
 	opens, reads, closes atomic.Int64
 	hits, misses         atomic.Int64
 	readThroughs         atomic.Int64
+	batchEntries         atomic.Int64
 	bytesServed          atomic.Int64
 	bytesFetched         atomic.Int64
+	prefetchDrops        atomic.Int64
+	demandRejects        atomic.Int64
 }
 
 func (c *serverCounters) snapshot() ServerStats {
 	return ServerStats{
-		Opens:        c.opens.Load(),
-		Reads:        c.reads.Load(),
-		Closes:       c.closes.Load(),
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		ReadThroughs: c.readThroughs.Load(),
-		BytesServed:  c.bytesServed.Load(),
-		BytesFetched: c.bytesFetched.Load(),
+		Opens:         c.opens.Load(),
+		Reads:         c.reads.Load(),
+		Closes:        c.closes.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		ReadThroughs:  c.readThroughs.Load(),
+		BatchEntries:  c.batchEntries.Load(),
+		BytesServed:   c.bytesServed.Load(),
+		BytesFetched:  c.bytesFetched.Load(),
+		PrefetchDrops: c.prefetchDrops.Load(),
+		DemandRejects: c.demandRejects.Load(),
 	}
 }
 
-type fetchResult struct {
-	done chan struct{}
-	err  error
+// errServerClosed fails fetch tasks drained during shutdown.
+var errServerClosed = errors.New("hvac server: closed")
+
+// fillEntry is the single-flight record of one in-flight background
+// fill. Handlers that hit the same cold key attach to it: ready is
+// closed once the mover has opened the source and created the
+// cachestore.Fill (or failed trying — fill stays nil then), done is
+// closed when the fetch completes and the key leaves the inflight map.
+type fillEntry struct {
+	once  sync.Once
+	ready chan struct{}
+	fill  *cachestore.Fill // valid after <-ready; nil if fill creation failed
+	done  chan struct{}
+	err   error // valid after <-done
+}
+
+// publish records the fill (nil on failure) and unblocks attachers.
+// Idempotent: only the first call wins.
+func (fe *fillEntry) publish(f *cachestore.Fill) {
+	fe.once.Do(func() {
+		fe.fill = f
+		close(fe.ready)
+	})
 }
 
 // fetchTask names one data-mover copy: a whole file (Len == 0) or one
 // segment of it.
 type fetchTask struct {
-	key  string // cache-store key ("path" or "path@segIdx")
-	path string
-	off  int64
-	len  int64 // 0 = to EOF (whole file)
+	key   string // cache-store key ("path" or "path@segIdx")
+	path  string
+	off   int64
+	len   int64 // 0 = to EOF (whole file)
+	entry *fillEntry
 }
 
 type openHandle struct {
 	f       *os.File
 	release func() // nil for direct (read-through) PFS handles
 	size    int64
+	path    string
+
+	// Cold handles are served from the in-flight fill; once the fill is
+	// gone they promote — under mu — to the committed cache file (or the
+	// PFS on failure).
+	fe *fillEntry
+	mu sync.Mutex
 }
 
 // Server is a real-mode HVAC server instance.
 type Server struct {
-	cfg   ServerConfig
-	store *cachestore.Store
-	rpc   *transport.Server
+	cfg     ServerConfig
+	store   *cachestore.Store
+	rpc     *transport.Server
+	openPFS func(path string) (*os.File, error)
 
-	fetchQ  chan fetchTask
-	moverWG sync.WaitGroup
+	demandQ   chan fetchTask
+	prefetchQ chan fetchTask
+	stop      chan struct{}
+	moverWG   sync.WaitGroup
 
 	handles handleTable
 	nextFD  atomic.Int64
 	stats   serverCounters
 
-	// mu guards only the data-mover dedup state below — nothing on the
-	// read path takes it.
+	// mu guards only the data-mover single-flight state below — nothing
+	// on the warm read path takes it.
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight drains to empty
-	inflight map[string]*fetchResult
+	inflight map[string]*fillEntry
 	closed   bool
 
 	latOpen  metrics.Histogram
@@ -169,6 +241,12 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 1 << 40
 	}
+	if cfg.DemandQueue <= 0 {
+		cfg.DemandQueue = defaultDemandQueue
+	}
+	if cfg.PrefetchQueue <= 0 {
+		cfg.PrefetchQueue = defaultPrefetchQueue
+	}
 	abs, err := filepath.Abs(cfg.PFSDir)
 	if err != nil {
 		return nil, err
@@ -179,10 +257,16 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		store:    store,
-		fetchQ:   make(chan fetchTask, 1024),
-		inflight: make(map[string]*fetchResult),
+		cfg:       cfg,
+		store:     store,
+		openPFS:   cfg.OpenPFS,
+		demandQ:   make(chan fetchTask, cfg.DemandQueue),
+		prefetchQ: make(chan fetchTask, cfg.PrefetchQueue),
+		stop:      make(chan struct{}),
+		inflight:  make(map[string]*fillEntry),
+	}
+	if s.openPFS == nil {
+		s.openPFS = os.Open
 	}
 	s.idle = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Movers; i++ {
@@ -191,7 +275,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	rpcSrv, err := transport.ServeWith(cfg.ListenAddr, s.handle, transport.ServerOptions{WriteTimeout: cfg.WriteTimeout})
 	if err != nil {
-		close(s.fetchQ)
+		close(s.stop)
 		s.moverWG.Wait()
 		return nil, err
 	}
@@ -207,6 +291,7 @@ func (s *Server) Stats() ServerStats {
 	st := s.stats.snapshot()
 	_, _, ev := s.store.Stats()
 	st.Evictions = ev
+	st.QueueDepth = int64(len(s.demandQ) + len(s.prefetchQ))
 	return st
 }
 
@@ -228,10 +313,26 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 
 	s.rpc.Close()
-	close(s.fetchQ)
+	// Stop the movers, then fail whatever they left queued. No new tasks
+	// can arrive: scheduleFetch checks closed under mu before its
+	// non-blocking send, so there is no send racing this drain (the old
+	// close-the-channel teardown had exactly that panic window).
+	close(s.stop)
 	s.moverWG.Wait()
+	for drained := false; !drained; {
+		select {
+		case task := <-s.demandQ:
+			s.finishFetch(task, errServerClosed)
+		case task := <-s.prefetchQ:
+			s.finishFetch(task, errServerClosed)
+		default:
+			drained = true
+		}
+	}
 	for _, h := range s.handles.drain() {
-		_ = h.f.Close() // teardown is best-effort: the job is over
+		if h.f != nil {
+			_ = h.f.Close() // teardown is best-effort: the job is over
+		}
 		if h.release != nil {
 			h.release()
 		}
@@ -240,33 +341,57 @@ func (s *Server) Close() {
 	_ = os.Remove(s.store.Dir()) // fails harmlessly if the purge left files behind
 }
 
-// mover is the data-mover worker: it drains the shared FIFO queue and
-// copies requested files from the PFS into the node-local store in the
-// background, while first reads are served read-through from the PFS.
+// mover is one data-mover worker: it drains the two-level queue — demand
+// misses strictly before prefetch hints — and streams each task's bytes
+// from the PFS into a cachestore fill that waiting handlers are served
+// from.
 func (s *Server) mover() {
 	defer s.moverWG.Done()
-	for task := range s.fetchQ {
-		start := time.Now()
-		err := s.copyIn(task)
-		s.latCopy.Observe(time.Since(start))
-		if err == nil {
-			s.stats.misses.Add(1) // a completed first-read copy
+	for {
+		// Demand first, without blocking.
+		select {
+		case task := <-s.demandQ:
+			s.runFetch(task)
+			continue
+		default:
 		}
-		s.mu.Lock()
-		fr := s.inflight[task.key]
-		if fr != nil {
-			fr.err = err
-			close(fr.done)
-			delete(s.inflight, task.key)
+		select {
+		case task := <-s.demandQ:
+			s.runFetch(task)
+		case task := <-s.prefetchQ:
+			s.runFetch(task)
+		case <-s.stop:
+			return
 		}
-		if len(s.inflight) == 0 {
-			s.idle.Broadcast()
-		}
-		s.mu.Unlock()
 	}
 }
 
-// WaitIdle blocks until every in-flight background copy has completed.
+// runFetch executes one fetch task end to end.
+func (s *Server) runFetch(task fetchTask) {
+	start := time.Now()
+	err := s.fillIn(task)
+	s.latCopy.Observe(time.Since(start))
+	if err == nil {
+		s.stats.misses.Add(1) // a completed first-read fill
+	}
+	s.finishFetch(task, err)
+}
+
+// finishFetch publishes the task's outcome and retires its single-flight
+// entry.
+func (s *Server) finishFetch(task fetchTask, err error) {
+	task.entry.err = err
+	task.entry.publish(nil) // no-op when the fill was published mid-fetch
+	s.mu.Lock()
+	delete(s.inflight, task.key)
+	if len(s.inflight) == 0 {
+		s.idle.Broadcast()
+	}
+	s.mu.Unlock()
+	close(task.entry.done)
+}
+
+// WaitIdle blocks until every in-flight background fill has completed.
 // Useful for tests and for measuring clean warm-epoch performance. The
 // movers signal the condition when the inflight map drains, so waiting
 // does not re-scan or poll.
@@ -278,8 +403,11 @@ func (s *Server) WaitIdle() {
 	s.mu.Unlock()
 }
 
-func (s *Server) copyIn(task fetchTask) error {
-	src, err := os.Open(task.path)
+// fillIn is the single PFS pass for one task: open the source once,
+// stream it into a cachestore fill (serving attached readers as bytes
+// land), and commit the fill into the cache.
+func (s *Server) fillIn(task fetchTask) error {
+	src, err := s.openPFS(task.path)
 	if err != nil {
 		return fmt.Errorf("hvac server: pfs open: %w", err)
 	}
@@ -295,34 +423,69 @@ func (s *Server) copyIn(task fetchTask) error {
 	if task.len > 0 && task.len < size {
 		size = task.len
 	}
+	fill, err := s.store.PutWriter(task.key, size)
+	if err != nil {
+		return fmt.Errorf("hvac server: cache fill: %w", err)
+	}
+	task.entry.publish(fill)
 	var rd io.Reader = src
 	if task.off > 0 || task.len > 0 {
 		rd = io.NewSectionReader(src, task.off, size)
 	}
-	if err := s.store.Put(task.key, size, rd); err != nil {
+	buf := transport.GetBuffer(512 << 10)
+	_, err = io.CopyBuffer(fillWriter{fill}, io.LimitReader(rd, size), buf)
+	transport.PutBuffer(buf)
+	if err != nil {
+		fill.Abort(err)
+		return fmt.Errorf("hvac server: cache fill: %w", err)
+	}
+	if err := fill.Commit(); err != nil {
 		return fmt.Errorf("hvac server: cache fill: %w", err)
 	}
 	s.stats.bytesFetched.Add(size)
 	return nil
 }
 
-// scheduleFetch enqueues a background copy of path onto the data-mover
-// FIFO, once per file (the §III-D mutex-guarded queue guarantees a file
-// is copied only once even under concurrent first reads).
-func (s *Server) scheduleFetch(task fetchTask) {
+// fillWriter masks every interface of a Fill except Write, keeping
+// io.CopyBuffer on its explicit-buffer path.
+type fillWriter struct{ f *cachestore.Fill }
+
+func (w fillWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+// scheduleFetch registers a background fill for task once per cache key
+// (the §III-D single-flight guarantee) and enqueues it at the given
+// priority. It returns the fill entry to attach to, or nil when the
+// fetch could not be queued — a full demand queue (the handler serves
+// read-through itself), a dropped prefetch hint, or a closing server.
+// The non-blocking send happens under s.mu, so it cannot race Close's
+// queue drain.
+func (s *Server) scheduleFetch(task fetchTask, demand bool) *fillEntry {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return
+		return nil
 	}
-	if _, ok := s.inflight[task.key]; ok {
-		s.mu.Unlock()
-		return
+	if fe, ok := s.inflight[task.key]; ok {
+		return fe
 	}
-	fr := &fetchResult{done: make(chan struct{})}
-	s.inflight[task.key] = fr
-	s.mu.Unlock()
-	s.fetchQ <- task
+	fe := &fillEntry{ready: make(chan struct{}), done: make(chan struct{})}
+	task.entry = fe
+	q := s.prefetchQ
+	if demand {
+		q = s.demandQ
+	}
+	select {
+	case q <- task:
+		s.inflight[task.key] = fe
+		return fe
+	default:
+		if demand {
+			s.stats.demandRejects.Add(1)
+		} else {
+			s.stats.prefetchDrops.Add(1)
+		}
+		return nil
+	}
 }
 
 func errResp(err error) *transport.Response {
@@ -370,6 +533,9 @@ func (s *Server) handle(req *transport.Request) *transport.Response {
 	case transport.OpReadAt:
 		defer func() { s.latRead.Observe(time.Since(start)) }()
 		return s.handleReadAt(req)
+	case transport.OpReadBatch:
+		defer func() { s.latRead.Observe(time.Since(start)) }()
+		return s.handleReadBatch(req)
 	default:
 		return errResp(fmt.Errorf("hvac server: unknown op %d", req.Op))
 	}
@@ -400,10 +566,11 @@ func (s *Server) allowed(path string) error {
 }
 
 // handleOpen serves a forwarded open: from the cache when resident;
-// otherwise read-through — the PFS file itself backs the handle while the
-// data-mover persists a copy in the background (tee-on-first-read), so the
-// first epoch proceeds at PFS concurrency instead of serialising on the
-// mover thread.
+// otherwise the miss is registered with the data-mover and the handle is
+// served from the in-flight fill (serve-from-fill) — one PFS metadata
+// stat now, one PFS data pass total, done by the mover. Only when the
+// fetch cannot be queued (backpressure, shutdown) does the handler fall
+// back to its own PFS read-through.
 func (s *Server) handleOpen(req *transport.Request) *transport.Response {
 	if err := s.allowed(req.Path); err != nil {
 		return errResp(err)
@@ -418,28 +585,83 @@ func (s *Server) handleOpen(req *transport.Request) *transport.Response {
 				return errResp(serr)
 			}
 			fd := s.nextFD.Add(1)
-			s.handles.put(fd, &openHandle{f: f, release: release, size: fi.Size()})
+			s.handles.put(fd, &openHandle{f: f, release: release, size: fi.Size(), path: req.Path})
 			s.stats.opens.Add(1)
 			s.stats.hits.Add(1)
 			return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
 		}
-		// Evicted between Contains and Open: fall through to read-through.
+		// Evicted between Contains and Open: fall through to the miss path.
 	}
-	f, err := os.Open(req.Path)
+	fi, err := os.Stat(req.Path)
 	if err != nil {
-		return errResp(fmt.Errorf("hvac server: pfs open: %w", err))
+		return errResp(fmt.Errorf("hvac server: pfs stat: %w", err))
 	}
-	fi, err := f.Stat()
-	if err != nil {
-		_ = f.Close() // the stat failure is the error to report
+	h := &openHandle{size: fi.Size(), path: req.Path}
+	if fe := s.scheduleFetch(fetchTask{key: req.Path, path: req.Path}, true); fe != nil {
+		h.fe = fe
+	} else if err := s.promote(h); err != nil {
+		// Backpressure fallback needs its own PFS handle right away.
 		return errResp(err)
 	}
-	s.scheduleFetch(fetchTask{key: req.Path, path: req.Path})
 	fd := s.nextFD.Add(1)
-	s.handles.put(fd, &openHandle{f: f, size: fi.Size()})
+	s.handles.put(fd, h)
 	s.stats.opens.Add(1)
 	s.stats.readThroughs.Add(1)
 	return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
+}
+
+// promote equips a cold handle with a concrete file: the committed cache
+// entry when the fill landed, the PFS file otherwise. Called when the
+// handle's fill is no longer consumable (committed and released, failed,
+// or never created).
+func (s *Server) promote(h *openHandle) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f != nil {
+		return nil
+	}
+	if f, release, err := s.store.Open(h.path); err == nil {
+		h.f, h.release = f, release
+		return nil
+	}
+	f, err := s.openPFS(h.path)
+	if err != nil {
+		return fmt.Errorf("hvac server: pfs open: %w", err)
+	}
+	h.f = f
+	return nil
+}
+
+// readHandle serves a ranged read on an open handle: directly from the
+// handle's file when it has one, else from the in-flight fill it is
+// attached to, promoting to the committed cache entry (or the PFS) when
+// the fill is gone.
+func (s *Server) readHandle(h *openHandle, buf []byte, off int64) (int, error) {
+	if h.fe == nil {
+		return h.f.ReadAt(buf, off)
+	}
+	h.mu.Lock()
+	f := h.f
+	h.mu.Unlock()
+	if f != nil {
+		return f.ReadAt(buf, off)
+	}
+	<-h.fe.ready
+	if fl := h.fe.fill; fl != nil && fl.Acquire() {
+		n, err := fl.ReadAt(buf, off)
+		fl.Release()
+		if err == nil || err == io.EOF {
+			return n, err
+		}
+		// The fill aborted mid-stream: promote and re-read below.
+	}
+	if err := s.promote(h); err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	f = h.f
+	h.mu.Unlock()
+	return f.ReadAt(buf, off)
 }
 
 // handleRead serves a ranged read on an open handle. The warm path is
@@ -456,7 +678,7 @@ func (s *Server) handleRead(req *transport.Request) *transport.Response {
 	}
 	resp := transport.AcquireResponse()
 	buf := resp.Grab(int(req.Len))
-	n, err := h.f.ReadAt(buf, req.Off)
+	n, err := s.readHandle(h, buf, req.Off)
 	if err != nil && err != io.EOF {
 		resp.Release()
 		return errResp(err)
@@ -475,7 +697,13 @@ func (s *Server) handleClose(req *transport.Request) *transport.Response {
 		return errResp(fmt.Errorf("hvac server: bad handle %d", req.Handle))
 	}
 	s.stats.closes.Add(1)
-	err := h.f.Close()
+	h.mu.Lock()
+	f := h.f
+	h.mu.Unlock()
+	var err error
+	if f != nil {
+		err = f.Close()
+	}
 	if h.release != nil {
 		h.release()
 	}
@@ -485,15 +713,17 @@ func (s *Server) handleClose(req *transport.Request) *transport.Response {
 	return &transport.Response{Status: transport.StatusOK}
 }
 
-// handlePrefetch enqueues a background copy of the file without opening
+// handlePrefetch enqueues a background fill of the file without opening
 // it — the pre-population path that erases the first-epoch overhead the
-// paper leaves to future work (§IV-C).
+// paper leaves to future work (§IV-C). Prefetch hints ride the
+// low-priority queue: demand misses preempt them, and a full queue drops
+// the hint rather than blocking the handler.
 func (s *Server) handlePrefetch(req *transport.Request) *transport.Response {
 	if err := s.allowed(req.Path); err != nil {
 		return errResp(err)
 	}
 	if !s.store.Contains(req.Path) {
-		s.scheduleFetch(fetchTask{key: req.Path, path: req.Path})
+		s.scheduleFetch(fetchTask{key: req.Path, path: req.Path}, false)
 	}
 	return &transport.Response{Status: transport.StatusOK}
 }
@@ -501,8 +731,9 @@ func (s *Server) handlePrefetch(req *transport.Request) *transport.Response {
 // handleReadAt serves a stateless segment read: the requested byte range
 // must lie within one segment; the segment is served from the cache when
 // resident — through the store's shared-handle cache, so a warm segment
-// read costs one pread, not an open/read/close triple — and read through
-// from the PFS otherwise (with a background segment copy scheduled).
+// read costs one pread, not an open/read/close triple. A miss registers
+// the segment with the data-mover and is served from the in-flight fill;
+// only queue backpressure degrades it to handler-side read-through.
 func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 	segSize := s.cfg.SegmentSize
 	if segSize <= 0 {
@@ -534,11 +765,42 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 			return resp
 		}
 		// Evicted (or the cached copy went bad) between Contains and
-		// ReadAt: fall through to read-through, which serves the same
+		// ReadAt: fall through to the miss path, which serves the same
 		// bytes from the PFS.
 	}
-	// Read-through from the PFS; tee a background segment copy.
-	f, err := os.Open(req.Path)
+	// Serve-from-fill: register the segment and read the range out of the
+	// fill as it lands — the mover's pass is the only PFS read.
+	if fe := s.scheduleFetch(fetchTask{key: key, path: req.Path, off: segIdx * segSize, len: segSize}, true); fe != nil {
+		<-fe.ready
+		if fl := fe.fill; fl != nil && fl.Acquire() {
+			n, rerr := fl.ReadAt(buf, req.Off-segIdx*segSize)
+			fl.Release()
+			if rerr == nil || rerr == io.EOF {
+				s.stats.reads.Add(1)
+				s.stats.readThroughs.Add(1)
+				s.stats.bytesServed.Add(int64(n))
+				resp.Status = transport.StatusOK
+				resp.Size = int64(n)
+				resp.Data = buf[:n]
+				return resp
+			}
+		}
+		// The fill was already retired (small segments commit before the
+		// handler attaches) or failed after committing nothing: a committed
+		// entry serves the same bytes. Still a read-through — this request
+		// is what pulled the segment off the PFS.
+		if n, rerr := s.store.ReadAt(key, buf, req.Off-segIdx*segSize); rerr == nil || rerr == io.EOF {
+			s.stats.reads.Add(1)
+			s.stats.readThroughs.Add(1)
+			s.stats.bytesServed.Add(int64(n))
+			resp.Status = transport.StatusOK
+			resp.Size = int64(n)
+			resp.Data = buf[:n]
+			return resp
+		}
+	}
+	// Read-through from the PFS: backpressure or fill failure.
+	f, err := s.openPFS(req.Path)
 	if err != nil {
 		resp.Release()
 		return errResp(fmt.Errorf("hvac server: pfs open: %w", err))
@@ -549,7 +811,6 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 		resp.Release()
 		return errResp(rerr)
 	}
-	s.scheduleFetch(fetchTask{key: key, path: req.Path, off: segIdx * segSize, len: segSize})
 	s.stats.reads.Add(1)
 	s.stats.readThroughs.Add(1)
 	s.stats.bytesServed.Add(int64(n))
@@ -557,6 +818,110 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 	resp.Size = int64(n)
 	resp.Data = buf[:n]
 	return resp
+}
+
+// handleReadBatch serves a scatter-gather whole-file read (or, with
+// BatchFlagPrefetch, schedules background fills): one RPC, per-entry
+// statuses, never more than BatchResponseBudget payload bytes. Entries
+// that would overflow the frame budget are answered StatusAgain and
+// fetched individually by the client; per-entry failures degrade only
+// their own path.
+func (s *Server) handleReadBatch(req *transport.Request) *transport.Response {
+	paths, err := transport.DecodeBatchPaths(req.Path)
+	if err != nil {
+		return errResp(err)
+	}
+	if req.Handle&transport.BatchFlagPrefetch != 0 {
+		out := make([]byte, 0, len(paths)*8)
+		for _, p := range paths {
+			if err := s.allowed(p); err != nil {
+				out = transport.AppendBatchEntry(out, transport.StatusError, []byte(err.Error()))
+				continue
+			}
+			if !s.store.Contains(p) {
+				s.scheduleFetch(fetchTask{key: p, path: p}, false)
+			}
+			out = transport.AppendBatchEntry(out, transport.StatusOK, nil)
+		}
+		return &transport.Response{Status: transport.StatusOK, Size: int64(len(paths)), Data: out}
+	}
+	var out []byte
+	for _, p := range paths {
+		room := transport.BatchResponseBudget - len(out)
+		data, hit, err := s.readWhole(p, room)
+		switch {
+		case err == errBatchAgain:
+			out = transport.AppendBatchEntry(out, transport.StatusAgain, nil)
+		case err != nil:
+			out = transport.AppendBatchEntry(out, transport.StatusError, []byte(err.Error()))
+		default:
+			out = transport.AppendBatchEntry(out, transport.StatusOK, data)
+			s.stats.batchEntries.Add(1)
+			s.stats.bytesServed.Add(int64(len(data)))
+			if hit {
+				s.stats.hits.Add(1)
+			} else {
+				s.stats.readThroughs.Add(1)
+			}
+		}
+	}
+	return &transport.Response{Status: transport.StatusOK, Size: int64(len(paths)), Data: out}
+}
+
+// errBatchAgain marks a batch entry that did not fit the response frame
+// budget; the client re-reads it individually.
+var errBatchAgain = errors.New("hvac server: batch entry over frame budget")
+
+// readWhole returns path's full content for a batch entry, serving warm
+// keys from the cache and cold ones from the single-flighted in-flight
+// fill. room bounds the payload this entry may add to the response.
+func (s *Server) readWhole(path string, room int) (data []byte, hit bool, err error) {
+	if err := s.allowed(path); err != nil {
+		return nil, false, err
+	}
+	if size, ok := s.store.Size(path); ok {
+		if size > int64(room) {
+			return nil, false, errBatchAgain
+		}
+		buf := make([]byte, size)
+		if n, rerr := s.store.ReadAt(path, buf, 0); rerr == nil || rerr == io.EOF {
+			return buf[:n], true, nil
+		}
+		// Evicted between Size and ReadAt: continue on the miss path.
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("hvac server: pfs stat: %w", err)
+	}
+	if fi.Size() > int64(room) {
+		return nil, false, errBatchAgain
+	}
+	buf := make([]byte, fi.Size())
+	if fe := s.scheduleFetch(fetchTask{key: path, path: path}, true); fe != nil {
+		<-fe.ready
+		if fl := fe.fill; fl != nil && fl.Acquire() {
+			n, rerr := fl.ReadAt(buf, 0)
+			fl.Release()
+			if rerr == nil || rerr == io.EOF {
+				return buf[:n], false, nil
+			}
+		}
+		// Fill gone: committed already, or failed. Try the cache once.
+		if n, rerr := s.store.ReadAt(path, buf, 0); rerr == nil || rerr == io.EOF {
+			return buf[:n], false, nil
+		}
+	}
+	// Backpressure or fill failure: handler-side read-through.
+	f, err := s.openPFS(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("hvac server: pfs open: %w", err)
+	}
+	n, rerr := f.ReadAt(buf, 0)
+	_ = f.Close() // read-only handle; the ReadAt result is what matters
+	if rerr != nil && rerr != io.EOF {
+		return nil, false, rerr
+	}
+	return buf[:n], false, nil
 }
 
 func (s *Server) handleStat(req *transport.Request) *transport.Response {

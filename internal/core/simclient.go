@@ -149,15 +149,73 @@ func (c *SimClient) rpc(p *sim.Proc, srv *SimServer) {
 	}
 }
 
+// groupByServer splits paths by home server into ordered slices indexed
+// by server position — not a map keyed by server, whose iteration order
+// would make the simulation nondeterministic.
+func (c *SimClient) groupByServer(paths []string) [][]string {
+	groups := make([][]string, len(c.servers))
+	for _, path := range paths {
+		home := c.placeFn(path)
+		groups[home] = append(groups[home], path)
+	}
+	return groups
+}
+
 // Prefetch asks each file's home server to pre-populate its cache without
 // reading the file — the §IV-C pre-population that hides the epoch-1
-// copy. Failed servers are skipped.
+// copy. The hints ride one batched RPC per home server; failed servers
+// are skipped.
 func (c *SimClient) Prefetch(p *sim.Proc, paths []string) {
-	for _, path := range paths {
-		srv := c.servers[c.placeFn(path)]
+	for si, group := range c.groupByServer(paths) {
+		if len(group) == 0 {
+			continue
+		}
+		srv := c.servers[si]
 		c.rpc(p, srv)
-		_ = srv.prefetch(p, path)
+		_ = srv.prefetchBatch(p, group)
 	}
+}
+
+// ReadBatch reads every path's full content through one scatter-gather
+// RPC per home server — the batched small-file path mirrored from the
+// real client. Entries on failed servers fall back to the PFS per file
+// (when a fallback is configured). Returns the total bytes read.
+func (c *SimClient) ReadBatch(p *sim.Proc, paths []string) (int64, error) {
+	p.Sleep(c.costs.ClientOverhead)
+	var total int64
+	for si, group := range c.groupByServer(paths) {
+		if len(group) == 0 {
+			continue
+		}
+		srv := c.servers[si]
+		c.rpc(p, srv)
+		n, err := srv.readBatch(p, group, c.node)
+		total += n
+		if err == nil {
+			c.stats.BytesRead += n
+			continue
+		}
+		if c.gpfsC == nil {
+			return total, fmt.Errorf("hvac sim client: batch read: %w", err)
+		}
+		// Per-file PFS fallback for the group the server failed.
+		for _, path := range group {
+			h, size, gerr := c.gpfsC.Open(p, path)
+			if gerr != nil {
+				return total, gerr
+			}
+			if _, gerr = c.gpfsC.ReadAt(p, h, 0, size); gerr != nil {
+				return total, gerr
+			}
+			if gerr = c.gpfsC.Close(p, h); gerr != nil {
+				return total, gerr
+			}
+			c.stats.Fallbacks++
+			c.stats.BytesRead += size
+			total += size
+		}
+	}
+	return total, nil
 }
 
 // Open implements vfs.FS: forward to the home server, fail over to

@@ -50,6 +50,7 @@ func DefaultSimCosts() SimCosts {
 type SimServerStats struct {
 	Opens, Reads, Closes int64
 	Hits, Misses         int64
+	BatchEntries         int64 // files served through scatter-gather batch reads
 	BytesServed          int64
 	BytesFetched         int64
 	Evictions            int64
@@ -212,6 +213,65 @@ func (s *SimServer) scheduleCopy(path string, size int64, fromPFS bool) {
 		s.stats.Misses++
 		s.stats.BytesFetched += size
 	})
+}
+
+// readBatch services a scatter-gather batch read: every path's full
+// content in one RPC round trip (the request/response fabric cost is the
+// caller's, charged once per batch — that is the point of the op). The
+// per-entry mover handling, cache/PFS transfers and background copies
+// are identical to the per-file path, so batching changes RPC count, not
+// cache behaviour. Returns the total payload bytes for the bulk send.
+func (s *SimServer) readBatch(p *sim.Proc, paths []string, clientNode simnet.NodeID) (int64, error) {
+	if s.failed {
+		return 0, errServerFailed
+	}
+	var total int64
+	for _, path := range paths {
+		s.mover.Use(p, s.costs.ReadHandling)
+		var size int64
+		if s.index.Peek(path) {
+			size, _ = s.index.Size(path)
+			s.index.Contains(path)
+			s.stats.Hits++
+			s.dev.Read(p, size)
+		} else {
+			got, err := s.gpfs.OpenMeta(p, path)
+			if err != nil {
+				return total, err
+			}
+			size = got
+			s.gpfs.ReadBytes(p, size)
+			s.gpfs.CloseMeta(p)
+			if !s.inflight[path] {
+				s.inflight[path] = true
+				s.scheduleCopy(path, size, false)
+			}
+		}
+		s.stats.BatchEntries++
+		s.stats.BytesServed += size
+		total += size
+	}
+	if s.fabric != nil && total > 0 {
+		s.fabric.Send(p, s.node, clientNode, total)
+	}
+	return total, nil
+}
+
+// prefetchBatch accepts one batched pre-population hint: the per-path
+// scheduling of prefetch without the per-path RPC.
+func (s *SimServer) prefetchBatch(p *sim.Proc, paths []string) error {
+	if s.failed {
+		return errServerFailed
+	}
+	for _, path := range paths {
+		s.mover.Use(p, s.costs.OpenHandling)
+		if s.index.Peek(path) || s.inflight[path] {
+			continue
+		}
+		s.inflight[path] = true
+		s.scheduleCopy(path, 0, true)
+	}
+	return nil
 }
 
 // prefetch accepts a pre-population request: the data-mover copies the

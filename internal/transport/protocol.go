@@ -44,12 +44,20 @@ const (
 	// datasets with highly skewed file sizes): the byte range names the
 	// segment; no server-side handle exists.
 	OpReadAt
+	// OpReadBatch is a scatter-gather whole-file read: N paths in, N
+	// payloads (or per-entry statuses) out, one RPC round trip for a
+	// whole loader batch of small samples. See batch.go for the entry
+	// encodings and the frame-budget contract.
+	OpReadBatch
 )
 
-// Status codes.
+// Status codes. StatusAgain is only meaningful per batch entry: the
+// server ran out of response frame budget and the client should retry
+// that path individually.
 const (
 	StatusOK uint8 = iota
 	StatusError
+	StatusAgain
 )
 
 // MaxFrame bounds a frame to 64 MiB, comfortably above the 16 MiB reads

@@ -168,6 +168,7 @@ type Client struct {
 	sleep       func(time.Duration) // test seam for backoff pauses
 
 	retries atomic.Int64
+	calls   atomic.Int64
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -212,6 +213,10 @@ func (c *Client) Addr() string { return c.addr }
 // client's stats.
 func (c *Client) Retries() int64 { return c.retries.Load() }
 
+// Calls reports how many RPCs have been issued (retries not included) —
+// the per-file-RPC accounting the batch-read benchmarks compare.
+func (c *Client) Calls() int64 { return c.calls.Load() }
+
 func (c *Client) getConn() (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -246,6 +251,7 @@ func (c *Client) putConn(conn net.Conn) {
 // spent the last error is returned to the caller, which for an HVAC
 // client triggers PFS fallback.
 func (c *Client) Call(req *Request) (*Response, error) {
+	c.calls.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {

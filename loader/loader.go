@@ -29,6 +29,13 @@ import (
 // os.ReadFile both satisfy it.
 type Source func(path string) ([]byte, error)
 
+// BatchSource reads a whole batch of sample files in one scatter-gather
+// pass, returning contents indexed like paths. hvac.Client.ReadBatch
+// satisfies it. When set, the loader fetches each batch through it — one
+// RPC per (server, batch) instead of one <open, read, close> transaction
+// per file — and the worker pool is bypassed.
+type BatchSource func(paths []string) ([][]byte, error)
+
 // Config parameterises a Loader.
 type Config struct {
 	// Paths is the dataset: one sample per file.
@@ -44,6 +51,11 @@ type Config struct {
 	Rank, World int
 	// DropLast discards a trailing partial batch.
 	DropLast bool
+	// BatchSource, when non-nil, fetches each batch in one scatter-gather
+	// pass instead of per-file Source transactions through the worker
+	// pool. The per-file Source remains required: it is the fallback when
+	// the batch fetch fails.
+	BatchSource BatchSource
 }
 
 // Batch is one training batch.
@@ -140,8 +152,19 @@ func (l *Loader) Epoch(e int, fn func(Batch) error) error {
 	return nil
 }
 
-// fetch fills data[i] from paths[i] using the worker pool.
+// fetch fills data[i] from paths[i]: through one BatchSource pass when
+// configured, else with the per-file worker pool. Errors never surface a
+// torn batch — a failed fetch zeroes whatever was partially filled.
 func (l *Loader) fetch(paths []string, data [][]byte) error {
+	if l.cfg.BatchSource != nil {
+		out, err := l.cfg.BatchSource(paths)
+		if err == nil && len(out) == len(paths) {
+			copy(data, out)
+			return nil
+		}
+		// Discard the partial result and degrade to the per-file path,
+		// which carries the Source's own fallback behaviour.
+	}
 	workers := l.cfg.Workers
 	if workers > len(paths) {
 		workers = len(paths)
@@ -179,5 +202,13 @@ func (l *Loader) fetch(paths []string, data [][]byte) error {
 		}()
 	}
 	wg.Wait()
+	if err != nil {
+		// The workers that did not hit the error may have finished their
+		// samples: zero the batch so the caller never observes torn data
+		// next to a non-nil error.
+		for i := range data {
+			data[i] = nil
+		}
+	}
 	return err
 }

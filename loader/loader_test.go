@@ -242,3 +242,163 @@ func TestThroughHVAC(t *testing.T) {
 		t.Fatalf("redirected = %d, want 60", st.Redirected)
 	}
 }
+
+// TestTornBatchZeroed asserts the fetch-error contract: when any sample
+// of a batch fails, the callback never runs and the batch's data slots
+// are all zeroed — a torn batch (some samples filled, error returned)
+// must not be observable.
+func TestTornBatchZeroed(t *testing.T) {
+	src, paths := memSource(t, 12)
+	failing := func(p string) ([]byte, error) {
+		if p == paths[5] {
+			return nil, errors.New("injected")
+		}
+		return src(p)
+	}
+	l, _ := New(failing, Config{Paths: paths, BatchSize: 12, Workers: 4, Seed: 3})
+	data := make([][]byte, 12)
+	// Reach into fetch directly: Epoch would discard the batch, and the
+	// contract is specifically about the buffer fetch leaves behind.
+	err := l.fetch(paths, data)
+	if err == nil {
+		t.Fatal("fetch error swallowed")
+	}
+	for i, d := range data {
+		if d != nil {
+			t.Fatalf("slot %d holds %d bytes after failed fetch; torn batch leaked", i, len(d))
+		}
+	}
+}
+
+// TestBatchSourceFastPath routes every batch through one scatter-gather
+// call and checks the per-file Source is never consulted.
+func TestBatchSourceFastPath(t *testing.T) {
+	src, paths := memSource(t, 20)
+	perFileCalls := 0
+	countingSrc := func(p string) ([]byte, error) {
+		perFileCalls++
+		return src(p)
+	}
+	batchCalls := 0
+	bs := func(batch []string) ([][]byte, error) {
+		batchCalls++
+		out := make([][]byte, len(batch))
+		for i, p := range batch {
+			b, err := src(p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = b
+		}
+		return out, nil
+	}
+	l, err := New(countingSrc, Config{Paths: paths, BatchSize: 5, Seed: 9, BatchSource: bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	if err := l.Epoch(0, func(b Batch) error {
+		for i := range b.Paths {
+			want, _ := src(b.Paths[i])
+			if !bytes.Equal(b.Data[i], want) {
+				return fmt.Errorf("%s: wrong bytes", b.Paths[i])
+			}
+			seen[b.Paths[i]] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(paths) {
+		t.Fatalf("saw %d samples, want %d", len(seen), len(paths))
+	}
+	if batchCalls != 4 {
+		t.Fatalf("BatchSource called %d times, want 4 (one per batch)", batchCalls)
+	}
+	if perFileCalls != 0 {
+		t.Fatalf("per-file Source called %d times despite BatchSource", perFileCalls)
+	}
+}
+
+// TestBatchSourceFallsBackToSource degrades a failing BatchSource to the
+// per-file worker pool, transparently to the consumer.
+func TestBatchSourceFallsBackToSource(t *testing.T) {
+	src, paths := memSource(t, 10)
+	bs := func(batch []string) ([][]byte, error) {
+		return nil, errors.New("batch RPC failed")
+	}
+	l, _ := New(src, Config{Paths: paths, BatchSize: 5, Seed: 1, BatchSource: bs})
+	samples := 0
+	if err := l.Epoch(0, func(b Batch) error {
+		for i := range b.Paths {
+			want, _ := src(b.Paths[i])
+			if !bytes.Equal(b.Data[i], want) {
+				return fmt.Errorf("%s: wrong bytes after fallback", b.Paths[i])
+			}
+			samples++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if samples != 10 {
+		t.Fatalf("samples = %d, want 10", samples)
+	}
+}
+
+// TestThroughHVACBatched is TestThroughHVAC with the batched fast path:
+// Client.ReadBatch as the BatchSource, byte-identical samples, and the
+// whole warm epoch costing one RPC per (server, batch).
+func TestThroughHVACBatched(t *testing.T) {
+	work := t.TempDir()
+	pfsDir := filepath.Join(work, "pfs")
+	os.MkdirAll(pfsDir, 0o755)
+	paths := make([]string, 30)
+	for i := range paths {
+		paths[i] = filepath.Join(pfsDir, fmt.Sprintf("s%03d.rec", i))
+		os.WriteFile(paths[i], bytes.Repeat([]byte{byte(i)}, 256), 0o644)
+	}
+	srv, err := hvac.StartServer(hvac.ServerConfig{
+		ListenAddr: "127.0.0.1:0", PFSDir: pfsDir,
+		CacheDir: filepath.Join(work, "cache"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := hvac.NewClient(hvac.ClientConfig{Servers: []string{srv.Addr()}, DatasetDir: pfsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	l, err := New(cli.ReadAll, Config{
+		Paths: paths, BatchSize: 6, Workers: 4, Seed: 11,
+		BatchSource: cli.ReadBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		err := l.Epoch(e, func(b Batch) error {
+			for i := range b.Paths {
+				var want byte
+				fmt.Sscanf(filepath.Base(b.Paths[i]), "s%03d.rec", &want)
+				if !bytes.Equal(b.Data[i], bytes.Repeat([]byte{want}, 256)) {
+					return fmt.Errorf("wrong bytes for %s", b.Paths[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cli.Stats()
+	if st.BatchReads != 60 {
+		t.Fatalf("BatchReads = %d, want 60 (every sample via batch)", st.BatchReads)
+	}
+	if st.Redirected != 0 {
+		t.Fatalf("Redirected = %d, want 0 (no per-file opens)", st.Redirected)
+	}
+}

@@ -1,16 +1,26 @@
 #!/bin/sh
-# bench.sh — the short hot-path benchmark tier (ISSUE 4). Runs the codec
-# and server read-path benchmarks with fixed iteration counts and writes
-# BENCH_PR4.json: the measured numbers next to the committed pre-pooling
-# baseline, so the allocation/latency win is a recorded artifact rather
-# than a claim. CI runs this as a non-gating step; numbers from shared
-# runners are indicative, the allocs/op columns are the stable signal
-# (those are also pinned by alloc_test.go / perf_test.go).
+# bench.sh — the short benchmark tier. Two artifacts:
+#
+#   BENCH_PR4.json (ISSUE 4): codec and server read-path benchmarks with
+#   fixed iteration counts next to the committed pre-pooling baseline, so
+#   the allocation/latency win is a recorded artifact rather than a
+#   claim. The allocs/op columns are the stable cross-machine signal
+#   (also pinned by alloc_test.go / perf_test.go).
+#
+#   BENCH_PR5.json (ISSUE 5): the cold-path benchmarks next to the
+#   committed pre-serve-from-fill baseline. The stable signals are the
+#   counted columns: pfsopens/op (2 per cold file before, exactly 1
+#   after) and rpcs/op (3 per small file before, ~1 per (server, batch)
+#   after).
+#
+# CI runs this as a non-gating step; wall-clock numbers from shared
+# runners are indicative only.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_PR4.json}
+OUT5=${2:-BENCH_PR5.json}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -66,3 +76,50 @@ EOF
 rm -f "$TMP.json"
 
 echo "bench: wrote $OUT" >&2
+
+# --- ISSUE 5: cold path + batched small files -------------------------
+
+: > "$TMP"
+echo '--- cold-path benchmarks' >&2
+go test -run '^$' -bench 'ColdEpoch64|SmallFilesPerFile256|SmallFilesBatch256' \
+	-benchtime 50x ./internal/core | tee -a "$TMP" >&2
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; popens = ""; pbytes = ""; rpcs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "pfsopens/op") popens = $(i - 1)
+		if ($i == "pfsbytes/op") pbytes = $(i - 1)
+		if ($i == "rpcs/op") rpcs = $(i - 1)
+	}
+	if (ns == "") next
+	if (out != "") out = out ",\n"
+	entry = sprintf("    \"%s\": {\"ns_op\": %s", name, ns)
+	if (popens != "") entry = entry sprintf(", \"pfsopens_op\": %s", popens)
+	if (pbytes != "") entry = entry sprintf(", \"pfsbytes_op\": %s", pbytes)
+	if (rpcs != "") entry = entry sprintf(", \"rpcs_op\": %s", rpcs)
+	out = out entry "}"
+}
+END { print out }
+' "$TMP" > "$TMP.json"
+
+cat > "$OUT5" <<EOF
+{
+  "issue": 5,
+  "description": "Cold path: serve-from-fill (one PFS pass per cold file instead of two), priority demand/prefetch movers, OpReadBatch scatter-gather reads. Baseline measured on the pre-PR tree (commit be22bc8) with the same benchmarks and -benchtime 50x; BenchmarkSmallFilesBatch256 has no baseline because ReadBatch did not exist — its comparison point is BenchmarkSmallFilesPerFile256. The counted columns (pfsopens_op, pfsbytes_op, rpcs_op) are the stable cross-machine signal.",
+  "benchtime": "50x",
+  "baseline": {
+    "BenchmarkColdEpoch64": {"ns_op": 10180574, "pfsopens_op": 128, "pfsbytes_op": 8388608},
+    "BenchmarkSmallFilesPerFile256": {"ns_op": 12733518, "rpcs_op": 768}
+  },
+  "after": {
+$(cat "$TMP.json")
+  }
+}
+EOF
+rm -f "$TMP.json"
+
+echo "bench: wrote $OUT5" >&2
