@@ -11,10 +11,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Only hvaclint, with per-analyzer counts: the fast pre-commit path.
+# Only hvaclint, with per-analyzer counts and wall time: the fast
+# pre-commit path. RULES=a,b restricts the run to named analyzers.
 # The full gate (make check) still runs build/vet/gofmt/tests around it.
 lint:
-	$(GO) run ./cmd/hvaclint -stats ./...
+	$(GO) run ./cmd/hvaclint -stats $(if $(RULES),-rules $(RULES)) ./...
 
 # The full gate: what CI runs, and what a change must pass before review.
 check:

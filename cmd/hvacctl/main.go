@@ -109,6 +109,7 @@ func main() {
 				if err != nil || !resp.OK() {
 					if err == nil {
 						err = resp.Error()
+						resp.Release()
 					}
 					fmt.Printf("%s: ERROR %v\n", p, err)
 					continue

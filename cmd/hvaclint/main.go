@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	hvaclint [-list] [-format text|json] [-stats] [packages]
+//	hvaclint [-list] [-rules a,b,...] [-format text|json] [-stats] [packages]
 //
 // With no arguments or the pattern "./...", every package of the module
 // is analysed — as one set, so the interprocedural analyzers (lockorder,
-// goroleak, atomicmix, untrustedlen) see the whole call graph. Other
-// arguments name package directories relative to the working directory.
-// Findings print as
+// goroleak, atomicmix, untrustedlen, ownerpass) see the whole call
+// graph. Other arguments name package directories relative to the
+// working directory. -rules restricts the run to a comma-separated
+// subset of the suite (names as printed by -list). Findings print as
 //
 //	file:line:col: [rule] message
 //
@@ -20,8 +21,9 @@
 //
 // including suppressed findings (suppressed entries never affect the
 // exit status; CI uses them for annotations). -stats appends a
-// per-analyzer finding count so gate failures name the rule. Findings
-// can be suppressed per line with //hvaclint:ignore <rule> <reason>.
+// per-analyzer finding count and wall time, so gate failures name the
+// rule and a slow suite names the analyzer. Findings can be suppressed
+// per line with //hvaclint:ignore <rule> <reason>.
 package main
 
 import (
@@ -31,16 +33,26 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hvac/internal/analysis"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	format := flag.String("format", "text", "output format: text or json")
-	stats := flag.Bool("stats", false, "print per-analyzer finding counts")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts and wall time")
 	flag.Parse()
 	analyzers := analysis.Analyzers()
+	if *rules != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*rules, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hvaclint:", err)
+			os.Exit(2)
+		}
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
@@ -98,7 +110,7 @@ func run(args []string, analyzers []*analysis.Analyzer, format string, stats boo
 	if len(pkgs) == 0 {
 		return fmt.Errorf("no packages selected")
 	}
-	diags := analysis.RunPackages(pkgs, analyzers)
+	diags, timings := analysis.RunPackagesTimed(pkgs, analyzers)
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
 			diags[i].Pos.Filename = rel
@@ -140,8 +152,13 @@ func run(args []string, analyzers []*analysis.Analyzer, format string, stats boo
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr, "hvaclint: analyzer findings:\n")
-		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-16s %d\n", a.Name, perRule[a.Name])
+		for i, a := range analyzers {
+			elapsed := time.Duration(0)
+			if i < len(timings) {
+				elapsed = timings[i].Elapsed
+			}
+			fmt.Fprintf(os.Stderr, "  %-16s %-6d %8.1fms\n", a.Name, perRule[a.Name],
+				float64(elapsed.Microseconds())/1000)
 		}
 		if perRule["suppress"] > 0 {
 			fmt.Fprintf(os.Stderr, "  %-16s %d\n", "suppress", perRule["suppress"])

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"hvac/internal/analysis/callgraph"
 )
@@ -155,7 +156,47 @@ func Analyzers() []*Analyzer {
 		GoroLeak,
 		AtomicMix,
 		UntrustedLen,
+		OwnerPass,
 	}
+}
+
+// ByName resolves a set of rule names to their analyzers, preserving
+// suite order. Unknown names are an error listing the valid rules.
+func ByName(names []string) ([]*Analyzer, error) {
+	suite := Analyzers()
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var out []*Analyzer
+	for _, a := range suite {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		valid := make([]string, len(suite))
+		for i, a := range suite {
+			valid[i] = a.Name
+		}
+		return nil, fmt.Errorf("unknown rule(s) %s (valid: %s)",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	return out, nil
+}
+
+// Timing is one analyzer's wall-clock cost over a run.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
 }
 
 // Run applies the analyzers to one package, resolves suppression
@@ -178,9 +219,19 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // reasoned //hvaclint:ignore comment are marked Suppressed rather than
 // dropped; the result is sorted by position.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunPackagesTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunPackagesTimed is RunPackages plus a per-analyzer wall-clock
+// breakdown in suite order; the first interprocedural analyzer's entry
+// includes the shared call-graph construction.
+func RunPackagesTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
 	var graph *callgraph.Graph
+	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
+		start := time.Now()
 		switch {
 		case a.RunModule != nil:
 			if graph == nil {
@@ -195,6 +246,7 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				a.Run(&Pass{Package: pkg, analyzer: a, diags: &diags})
 			}
 		}
+		timings = append(timings, Timing{Name: a.Name, Elapsed: time.Since(start)})
 	}
 	diags = applySuppressions(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -210,7 +262,7 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags
+	return diags, timings
 }
 
 // BuildGraph constructs the shared CHA call graph over the package set.

@@ -34,6 +34,10 @@ func TestAtomicMixFixtures(t *testing.T) {
 	fixtureTest(t, AtomicMix, "atomfix", "hvac/internal/atomfix")
 }
 
+func TestOwnerPassFixtures(t *testing.T) {
+	fixtureTest(t, OwnerPass, "ownerfix", "hvac/internal/ownerfix")
+}
+
 // The lenfix fixture stands in for internal/transport itself: the
 // untrustedlen analyzer seeds its taint from length fields declared in a
 // package with that import path.

@@ -1,0 +1,95 @@
+package cfg
+
+import "fmt"
+
+// Check validates the structural invariants of a built graph:
+//
+//   - Blocks[0] is the entry and the last block is the exit.
+//   - Block indices match slice positions (deterministic ordering).
+//   - Every non-exit block is reachable from the entry (pruning
+//     worked) and has at least one successor (control always flows
+//     somewhere; only the exit terminates).
+//   - The exit has no successors and holds no nodes.
+//   - A block with a condition has exactly two successors.
+//   - Successor/predecessor lists are mutually consistent and stay
+//     within the kept block set.
+//
+// The self-analysis regression test runs Check over every function in
+// the module so the builder cannot silently misparse new syntax.
+func Check(g *Graph) error {
+	if len(g.Blocks) < 2 {
+		return fmt.Errorf("graph has %d blocks; want at least entry+exit", len(g.Blocks))
+	}
+	if g.Blocks[0] != g.Entry || g.Entry.Kind != KindEntry {
+		return fmt.Errorf("Blocks[0] is not the entry")
+	}
+	if g.Blocks[len(g.Blocks)-1] != g.Exit || g.Exit.Kind != KindExit {
+		return fmt.Errorf("last block is not the exit")
+	}
+	inSet := make(map[*Block]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			return fmt.Errorf("block at position %d has index %d", i, b.Index)
+		}
+		inSet[b] = true
+	}
+	if len(g.Exit.Succs) != 0 || len(g.Exit.Nodes) != 0 {
+		return fmt.Errorf("exit block must have no successors and no nodes")
+	}
+	// Edge consistency.
+	for _, b := range g.Blocks {
+		if b.Cond != nil && len(b.Succs) != 2 {
+			return fmt.Errorf("b%d has a condition but %d successors", b.Index, len(b.Succs))
+		}
+		if b.Kind != KindExit && len(b.Succs) == 0 && b.Term == nil {
+			// A block may legitimately end control flow without an
+			// exit edge only when it blocks forever (`select {}`),
+			// recorded via Term.
+			return fmt.Errorf("b%d has no successors but is not the exit", b.Index)
+		}
+		for _, s := range b.Succs {
+			if !inSet[s] {
+				return fmt.Errorf("b%d has a successor outside the graph", b.Index)
+			}
+			if !containsBlock(s.Preds, b) {
+				return fmt.Errorf("b%d -> b%d edge missing from preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inSet[p] {
+				return fmt.Errorf("b%d has a predecessor outside the graph", b.Index)
+			}
+			if !containsBlock(p.Succs, b) {
+				return fmt.Errorf("b%d pred b%d lacks the succ edge", b.Index, p.Index)
+			}
+		}
+	}
+	// Reachability from the entry.
+	reach := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.Succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if b.Kind != KindExit && !reach[b] {
+			return fmt.Errorf("b%d is unreachable from the entry", b.Index)
+		}
+	}
+	return nil
+}
+
+func containsBlock(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

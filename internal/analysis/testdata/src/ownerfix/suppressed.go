@@ -1,0 +1,20 @@
+package ownerfix
+
+import "hvac/internal/transport"
+
+// probeFireAndForget deliberately abandons the response: this is a
+// latency probe whose payload is zero-length, so the pool loses
+// nothing. The pragma silences ownerpass for exactly this line.
+func probeFireAndForget(t transport.Transport) {
+	//hvaclint:ignore ownerpass zero-payload probe; nothing to recycle
+	resp, _ := t.Call(&transport.Request{Op: transport.OpPing})
+	_ = resp
+}
+
+// wrongRule shows the suppression is per-rule: a pragma naming a
+// different analyzer does not silence ownerpass.
+func wrongRule(t transport.Transport) {
+	//hvaclint:ignore errdrop wrong rule on purpose
+	resp, _ := t.Call(&transport.Request{Op: transport.OpPing}) // want "pooled response .* may leak"
+	_ = resp
+}

@@ -262,7 +262,11 @@ func (ft *faultTransport) Call(req *transport.Request) (*transport.Response, err
 	case Disconnect:
 		// The request reaches the server — its side effects (open
 		// counted, copy scheduled) happen — but the response is lost.
-		_, _ = ft.inner.Call(req)
+		// Recycle its pooled payload: losing the frame must not also
+		// lose the buffer.
+		if resp, err := ft.inner.Call(req); err == nil {
+			resp.Release()
+		}
 		return nil, fmt.Errorf("faultnet: server %s: %w", ft.name, ErrDisconnected)
 	case Delay:
 		time.Sleep(rule.Delay)
@@ -281,6 +285,7 @@ func (ft *faultTransport) Call(req *transport.Request) (*transport.Response, err
 			return nil, err
 		}
 		err = damageResponse(resp, fault, eventSeed(ft.in.sched.Seed, ft.name, req.Op, idx))
+		resp.Release()
 		return nil, fmt.Errorf("faultnet: server %s: %s fault: %w", ft.name, fault, err)
 	default:
 		return nil, fmt.Errorf("faultnet: server %s: unknown fault %d", ft.name, fault)
@@ -302,9 +307,13 @@ func damageResponse(resp *transport.Response, fault Fault, seed uint64) error {
 	} else {
 		frame = c.BitFlip(frame)
 	}
-	if _, err := transport.ReadResponse(bytes.NewReader(frame)); err != nil {
+	decoded, err := transport.ReadResponse(bytes.NewReader(frame))
+	if err != nil {
 		return err
 	}
+	// The damaged frame decoded anyway; drop the phantom response back
+	// into the pool before refusing to deliver it.
+	decoded.Release()
 	return ErrUndetectedCorruption
 }
 

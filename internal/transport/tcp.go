@@ -309,7 +309,9 @@ func (c *Client) Ping() error {
 	if err != nil {
 		return err
 	}
-	return resp.Error()
+	err = resp.Error()
+	resp.Release()
+	return err
 }
 
 // Close releases pooled connections. In-flight calls may fail.

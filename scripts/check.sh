@@ -20,8 +20,9 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-# -stats prints per-analyzer finding counts, so a gate failure names the
-# rule that tripped it.
+# -stats prints per-analyzer finding counts and wall time, so a gate
+# failure names the rule that tripped it and a slow gate names the
+# analyzer that costs it.
 echo '--- go run ./cmd/hvaclint -stats ./...'
 go run ./cmd/hvaclint -stats ./...
 
