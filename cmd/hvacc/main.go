@@ -40,6 +40,8 @@ func main() {
 		poolSize  = flag.Int("pool-size", 0, "idle TCP connections kept per server link; size to the loader worker count (0 = transport default, negative = no pooling)")
 		readahead = flag.Int("readahead", 0, "sequential-read pipeline depth for cat (0 = default on, negative = off)")
 		segSize   = flag.Int64("segment-size", 0, "segment size in bytes for segment-level caching; must match the servers (0 = whole-file)")
+		replicas  = flag.Int("replicas", 1, "replica homes per file; >1 arms live failover across the replica ladder (must match the servers' -replicas)")
+		hedge     = flag.Duration("hedge-after", 0, "fire the same read at the next replica when the current one has not answered within this duration (0 = off; needs -replicas > 1)")
 		epochs    = flag.Int("epochs", 1, "number of passes over the file list (epoch 2+ should run at cache speed)")
 		workers   = flag.Int("workers", 4, "concurrent reader goroutines for read")
 		batchSize = flag.Int("batch-size", 256, "files per scatter-gather batch for batch")
@@ -59,6 +61,8 @@ func main() {
 		Servers:       strings.Split(*servers, ","),
 		DatasetDir:    *dataset,
 		SegmentSize:   *segSize,
+		Replicas:      *replicas,
+		HedgeAfter:    *hedge,
 		CallTimeout:   *callTO,
 		RetryAttempts: *retries,
 		PoolSize:      *poolSize,
@@ -175,6 +179,6 @@ func main() {
 func printStats(cli *hvac.Client) {
 	st := cli.Stats()
 	fmt.Fprintf(os.Stderr,
-		"client: redirected=%d passthrough=%d fallbacks=%d degrades=%d failovers=%d retries=%d readaheads=%d readahead-hits=%d batch=%d batch-fallbacks=%d bytes=%d\n",
-		st.Redirected, st.Passthrough, st.Fallbacks, st.Degrades, st.Failovers, st.Retries, st.Readaheads, st.ReadaheadHits, st.BatchReads, st.BatchFallbacks, st.BytesRead)
+		"client: redirected=%d passthrough=%d fallbacks=%d degrades=%d failovers=%d hedges=%d hedge-wins=%d retries=%d readaheads=%d readahead-hits=%d batch=%d batch-fallbacks=%d bytes=%d\n",
+		st.Redirected, st.Passthrough, st.Fallbacks, st.Degrades, st.Failovers, st.Hedges, st.HedgeWins, st.Retries, st.Readaheads, st.ReadaheadHits, st.BatchReads, st.BatchFallbacks, st.BytesRead)
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +34,9 @@ func main() {
 		demandQ  = flag.Int("demand-queue", 0, "demand fetch queue depth; full queue degrades the request to read-through (0 = default)")
 		prefQ    = flag.Int("prefetch-queue", 0, "prefetch hint queue depth; full queue drops hints (0 = default)")
 		evict    = flag.String("evict", "random", "eviction policy: random|lru|fifo|clock")
+		peers    = flag.String("peers", "", "comma-separated addresses of every server in the job (self included, same order everywhere); enables replica warming")
+		self     = flag.Int("self", 0, "this server's index in -peers")
+		replicas = flag.Int("replicas", 1, "replica homes per file; demand fills warm the other homes when -peers is set (must match the clients' -replicas)")
 		seed     = flag.Uint64("seed", 0, "seed for random eviction")
 		stats    = flag.Duration("stats", 0, "print stats every interval (0 = off)")
 		writeTO  = flag.Duration("write-timeout", 0, "per-response write deadline so dead clients cannot pin connections (0 = transport default, negative = disabled)")
@@ -69,10 +73,21 @@ func main() {
 		DemandQueue:   *demandQ,
 		PrefetchQueue: *prefQ,
 		WriteTimeout:  *writeTO,
+		Replicas:      *replicas,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hvacd: %v\n", err)
 		os.Exit(1)
+	}
+	if *peers != "" {
+		set := strings.Split(*peers, ",")
+		if *self < 0 || *self >= len(set) {
+			fmt.Fprintf(os.Stderr, "hvacd: -self %d outside -peers (%d entries)\n", *self, len(set))
+			srv.Close()
+			os.Exit(2)
+		}
+		srv.SetPeers(set, *self)
+		fmt.Printf("hvacd: replica warming across %d peers (self=%d, replicas=%d)\n", len(set), *self, *replicas)
 	}
 	fmt.Printf("hvacd: serving %s on %s (cache %s, %d movers, %s eviction)\n",
 		*pfsDir, srv.Addr(), *cacheDir, *movers, *evict)
@@ -86,9 +101,9 @@ func main() {
 				select {
 				case <-t.C:
 					st := srv.Stats()
-					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d batch=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB queue=%d prefetch-drops=%d demand-rejects=%d\n",
+					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d batch=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB queue=%d prefetch-drops=%d demand-rejects=%d replica-warms=%d\n",
 						st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BatchEntries, st.BytesServed, st.BytesFetched,
-						st.Evictions, srv.CachedFiles(), srv.CachedBytes(), st.QueueDepth, st.PrefetchDrops, st.DemandRejects)
+						st.Evictions, srv.CachedFiles(), srv.CachedBytes(), st.QueueDepth, st.PrefetchDrops, st.DemandRejects, st.ReplicaWarms)
 					fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
 				case <-stop:
 					return

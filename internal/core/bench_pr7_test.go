@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"hvac/internal/faultnet"
+	"hvac/internal/transport"
+)
+
+// The ISSUE 7 failover benchmark: one warm epoch re-read while a Kill
+// schedule takes the busiest of 3 servers down partway through. The two
+// variants bracket the §III-H failover design:
+//
+//   - BenchmarkFailoverEpochR2: replicas warmed by the fill-time hints
+//     absorb the kill — pfsopens/op must be 0 (the epoch never returns
+//     to the PFS) and failovers/op counts the migrated opens.
+//   - BenchmarkFailoverEpochR1: the degradation control — the same kill
+//     with no replica sends the victim's remaining files back to the
+//     PFS, so pfsopens/op is the visible cost of running un-replicated.
+//
+// pfsopens/op sums every PFS pass the measured epoch costs, wherever it
+// happens: server read-throughs (counted through the OpenPFS seam) plus
+// client fallbacks and mid-read degrades (each opens the PFS once on
+// the client). Fixed -benchtime iteration counts (scripts/bench.sh)
+// make the numbers comparable; BENCH_PR7.json holds the baseline.
+
+func benchFailoverEpoch(b *testing.B, replicas int) {
+	const (
+		nServers = 3
+		files    = 48
+		fileSize = 8 << 10
+	)
+	pfsDir := filepath.Join(b.TempDir(), "dataset")
+	paths := benchWritePFS(b, pfsDir, files, fileSize)
+	victim, homed := victimHome(paths, nServers)
+	if homed < 2 {
+		b.Fatalf("victim srv%d homes only %d files", victim, homed)
+	}
+	// One OpRead per file per epoch: the warm epoch spends `homed` reads
+	// at the victim, so the kill lands mid-way through the measured one.
+	sched := faultnet.Schedule{Seed: 30, Rules: []faultnet.Rule{
+		{Server: fmt.Sprintf("srv%d", victim), Op: transport.OpRead,
+			Offset: int64(homed + homed/2), Fault: faultnet.Kill},
+	}}
+	copts := transport.ClientOptions{
+		CallTimeout: chaosCallTimeout,
+		Retry:       chaosRetryPolicy(sched.Seed),
+	}
+
+	var seamOpens atomic.Int64
+	var pfsOpens, failovers int64
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		inj := faultnet.New(sched)
+		servers := make([]*Server, nServers)
+		addrs := make([]string, nServers)
+		for si := range servers {
+			srv, err := StartServer(ServerConfig{
+				ListenAddr: "127.0.0.1:0",
+				PFSDir:     pfsDir,
+				CacheDir:   filepath.Join(b.TempDir(), fmt.Sprintf("nvme%d", si)),
+				Replicas:   replicas,
+				Placement:  basenamePlacement{},
+				OpenPFS: func(path string) (*os.File, error) {
+					f, err := os.Open(path) //hvac:pfs-fallback benchmark seam: counting the server's own PFS passes
+					if err == nil {
+						seamOpens.Add(1)
+					}
+					return f, err
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			servers[si] = srv
+			addrs[si] = srv.Addr()
+		}
+		if replicas > 1 {
+			for si, s := range servers {
+				s.SetPeers(addrs, si)
+			}
+		}
+		cli, err := NewClient(ClientConfig{
+			Servers:    addrs,
+			DatasetDir: pfsDir,
+			Replicas:   replicas,
+			Placement:  basenamePlacement{},
+			DialTransport: func(addr string) transport.Transport {
+				name := addr
+				for ai, a := range addrs {
+					if a == addr {
+						name = fmt.Sprintf("srv%d", ai)
+					}
+				}
+				return inj.Wrap(name, transport.DialWith(addr, copts))
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm epoch: fill the primaries, let the hints warm the
+		// secondaries, and drain every fill before the clock starts.
+		for _, p := range paths {
+			if _, err := cli.ReadAll(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, s := range servers {
+				s.WaitIdle()
+			}
+		}
+		stWarm := cli.Stats()
+		seamWarm := seamOpens.Load()
+		b.StartTimer()
+
+		for _, p := range paths { // the measured epoch; the kill fires inside it
+			if _, err := cli.ReadAll(p); err != nil {
+				b.Fatalf("epoch read across kill: %v", err)
+			}
+		}
+
+		b.StopTimer()
+		st := cli.Stats()
+		pfsOpens += (seamOpens.Load() - seamWarm) +
+			(st.Fallbacks - stWarm.Fallbacks) + (st.Degrades - stWarm.Degrades)
+		failovers += st.Failovers - stWarm.Failovers
+		cli.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+		inj.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(pfsOpens)/float64(b.N), "pfsopens/op")
+	b.ReportMetric(float64(failovers)/float64(b.N), "failovers/op")
+}
+
+func BenchmarkFailoverEpochR2(b *testing.B) { benchFailoverEpoch(b, 2) }
+func BenchmarkFailoverEpochR1(b *testing.B) { benchFailoverEpoch(b, 1) }

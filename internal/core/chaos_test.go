@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -115,6 +116,27 @@ func chaosMatrix() []chaosCase {
 			}},
 		},
 		{
+			// A server crashes for good mid-run: the 3rd open on srv0
+			// trips the Kill and every later call to it — any op — fails.
+			// With R=2 its files fail over to live replicas; nothing falls
+			// back to the PFS and the bytes stay identical.
+			name: "kill-one-server", servers: 3, files: 18, size: 1024, epochs: 2, replicas: 2,
+			sched: faultnet.Schedule{Seed: 16, Rules: []faultnet.Rule{
+				{Server: "srv0", Op: transport.OpOpen, Offset: 2, Fault: faultnet.Kill},
+			}},
+		},
+		{
+			// A server turns permanently slow (no Every/Prob: the rule
+			// fires on every matching call from Offset on) — the paper's
+			// straggler, not a crash. Everything still completes and
+			// accounts correctly; the hedging tier is what turns this from
+			// "slow" into "hidden".
+			name: "permanently-slow", servers: 2, files: 12, size: 512, epochs: 2,
+			sched: faultnet.Schedule{Seed: 17, Rules: []faultnet.Rule{
+				{Server: "srv1", Offset: 2, Fault: faultnet.Delay, Delay: 2 * time.Millisecond},
+			}},
+		},
+		{
 			name: "fault-storm", servers: 3, files: 15, size: 2048, epochs: 3,
 			sched: faultnet.Schedule{Seed: 10, HangTimeout: 10 * time.Millisecond, Rules: []faultnet.Rule{
 				{Prob: 0.05, Fault: faultnet.Refuse},
@@ -143,26 +165,43 @@ func (p basenamePlacement) Replicas(path string, n, r int) []int {
 	return p.inner.Replicas(filepath.Base(path), n, r)
 }
 
+// chaosCallTimeout and chaosRetryPolicy are the fast client transport
+// settings every chaos cluster (and the failover benchmark) runs with,
+// so fault-heavy runs stay quick and deterministic.
+const chaosCallTimeout = 2 * time.Second
+
+func chaosRetryPolicy(seed uint64) transport.RetryPolicy {
+	return transport.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   100 * time.Microsecond,
+		MaxDelay:    time.Millisecond,
+		Seed:        seed,
+	}
+}
+
 // startChaosCluster is startCluster plus the faultnet decoration: every
 // server link is wrapped by inj under the stable name "srv<i>", with fast
 // retry/timeout settings so fault-heavy runs stay quick.
 func startChaosCluster(t *testing.T, pfsDir string, tc chaosCase, inj *faultnet.Injector, cliMut func(*ClientConfig)) ([]*Server, *Client) {
 	t.Helper()
 	return startCluster(t, pfsDir, tc.servers,
-		func(c *ServerConfig) { c.SegmentSize = tc.segSize },
+		func(c *ServerConfig) {
+			c.SegmentSize = tc.segSize
+			// Agree with the client on placement and replica count so
+			// tests that wire the peer set (wirePeers) warm the same
+			// homes the client will fail over to. Without SetPeers these
+			// fields are inert.
+			c.Replicas = tc.replicas
+			c.Placement = basenamePlacement{}
+		},
 		func(c *ClientConfig) {
 			c.Replicas = tc.replicas
 			c.SegmentSize = tc.segSize
 			c.Placement = basenamePlacement{}
 			addrs := append([]string(nil), c.Servers...)
 			opts := transport.ClientOptions{
-				CallTimeout: 2 * time.Second,
-				Retry: transport.RetryPolicy{
-					MaxAttempts: 2,
-					BaseDelay:   100 * time.Microsecond,
-					MaxDelay:    time.Millisecond,
-					Seed:        tc.sched.Seed,
-				},
+				CallTimeout: chaosCallTimeout,
+				Retry:       chaosRetryPolicy(tc.sched.Seed),
 			}
 			c.DialTransport = func(addr string) transport.Transport {
 				name := addr
@@ -179,7 +218,40 @@ func startChaosCluster(t *testing.T, pfsDir string, tc chaosCase, inj *faultnet.
 		})
 }
 
+// maybeWriteCorpus dumps the committed schedule corpus as JSON, one file
+// per case, when HVAC_CHAOS_CORPUS names a directory — CI uploads it as
+// a build artifact so any matrix failure ships its exact fault plan.
+func maybeWriteCorpus(t *testing.T, cases []chaosCase) {
+	t.Helper()
+	dir := os.Getenv("HVAC_CHAOS_CORPUS")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		blob, err := json.MarshalIndent(struct {
+			Name     string
+			Servers  int
+			Files    int
+			Size     int
+			Epochs   int
+			Replicas int
+			SegSize  int64
+			Schedule faultnet.Schedule
+		}{tc.name, tc.servers, tc.files, tc.size, tc.epochs, tc.replicas, tc.segSize, tc.sched}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, tc.name+".json"), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestChaosMatrix(t *testing.T) {
+	maybeWriteCorpus(t, chaosMatrix())
 	for _, tc := range chaosMatrix() {
 		t.Run(tc.name, func(t *testing.T) {
 			testutil.CheckLeaks(t)
@@ -257,6 +329,9 @@ func TestChaosMatrix(t *testing.T) {
 			}
 			if st.Degrades > st.Redirected {
 				t.Fatalf("degrades(%d) exceed redirected opens(%d): a handle degraded twice", st.Degrades, st.Redirected)
+			}
+			if st.HedgeWins > st.Hedges {
+				t.Fatalf("hedge wins(%d) exceed hedges fired(%d)", st.HedgeWins, st.Hedges)
 			}
 			if st.Passthrough != 0 {
 				t.Fatalf("chaos reads leaked outside the dataset dir: %+v", st)

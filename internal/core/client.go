@@ -29,6 +29,14 @@ type ClientConfig struct {
 	// is unreachable the client tries the next replica before falling
 	// back to the PFS.
 	Replicas int
+	// HedgeAfter > 0 arms hedged reads (§III-H tail-latency failover):
+	// when a remote call has not answered within HedgeAfter, the same
+	// operation is issued to the next replica and the first success wins
+	// (losers are drained in the background and their pooled responses
+	// and server-side handles retired). 0 disables hedging; replica
+	// failover then stays strictly sequential. Only effective with
+	// Replicas > 1.
+	HedgeAfter time.Duration
 	// DisableFallback makes server failures hard errors instead of
 	// falling back to direct PFS reads; used in tests.
 	DisableFallback bool
@@ -73,7 +81,9 @@ type ClientStats struct {
 	Passthrough    int64 // opens outside the dataset dir
 	Fallbacks      int64 // opens that fell back to the PFS after server failure
 	Degrades       int64 // redirected handles demoted to PFS mid-read (§III-H)
-	Failovers      int64 // opens served by a non-primary replica
+	Failovers      int64 // opens (or mid-read handle migrations) served by a non-primary replica
+	Hedges         int64 // hedge attempts fired after HedgeAfter elapsed unanswered
+	HedgeWins      int64 // operations completed by a hedged attempt (HedgeWins <= Hedges)
 	Retries        int64 // transport-level retry attempts spent across all server links
 	Readaheads     int64 // sequential-read chunks requested ahead of the caller
 	ReadaheadHits  int64 // reads served from a completed readahead chunk
@@ -87,9 +97,16 @@ type ClientStats struct {
 type Client struct {
 	cfg   ClientConfig
 	conns []transport.Transport
+	view  *place.View
 
-	mu    sync.Mutex
-	stats ClientStats
+	// hedgeWG joins every background goroutine the hedging machinery
+	// spawns (loser drains, async handle closes); Close waits for them
+	// so no pooled Response outlives the client.
+	hedgeWG sync.WaitGroup
+
+	mu      sync.Mutex
+	stats   ClientStats
+	closing bool
 }
 
 // NewClient builds a client for the given configuration.
@@ -124,12 +141,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		}
 		dial = func(addr string) transport.Transport { return transport.DialWith(addr, opts) }
 	}
-	c := &Client{cfg: cfg}
+	c := &Client{cfg: cfg, view: place.NewView(cfg.Placement, len(cfg.Servers))}
 	for _, addr := range cfg.Servers {
 		c.conns = append(c.conns, dial(addr))
 	}
 	return c, nil
 }
+
+// View returns the client's membership view: the versioned server set
+// placement hashes over. Leave/Join on it reroute subsequent opens away
+// from (or back to) a member without restarting the job; an unchanged
+// view places exactly like the configured policy.
+func (c *Client) View() *place.View { return c.view }
 
 // Stats returns a snapshot of client counters. Retries is gathered live
 // from the server links (each transport keeps its own retry budget).
@@ -145,8 +168,13 @@ func (c *Client) Stats() ClientStats {
 	return st
 }
 
-// Close releases all server connections.
+// Close joins the hedging machinery's background goroutines (bounded by
+// the per-call deadline) and releases all server connections.
 func (c *Client) Close() {
+	c.mu.Lock()
+	c.closing = true
+	c.mu.Unlock()
+	c.hedgeWG.Wait()
 	for _, conn := range c.conns {
 		conn.Close()
 	}
@@ -163,9 +191,10 @@ func (c *Client) Intercepts(path string) bool {
 		strings.HasPrefix(abs, c.cfg.DatasetDir+string(filepath.Separator))
 }
 
-// Home returns the index of the server that homes path.
+// Home returns the index of the server that homes path under the
+// current membership view.
 func (c *Client) Home(path string) int {
-	return c.cfg.Placement.Place(path, len(c.conns))
+	return c.view.Place(path)
 }
 
 // raResult carries one completed readahead RPC from the pipeline
@@ -189,6 +218,13 @@ type File struct {
 	segmented bool
 	closed    bool
 	mu        sync.Mutex
+
+	// replicas is the whole-file replica ladder (server indices, primary
+	// first) fixed at open time; srv is the member currently serving the
+	// handle. A mid-read failover migrates (conn, handle, srv) — under mu
+	// — to the replica that answered.
+	replicas []int
+	srv      int
 
 	// Sequential-read pipeline (File.Read only): at most one chunk RPC in
 	// flight, owned by whoever flips raPending under mu. The WaitGroup
@@ -220,36 +256,43 @@ func (c *Client) Open(path string) (*File, error) {
 	if c.cfg.SegmentSize > 0 {
 		return c.openSegmented(abs)
 	}
-	replicas := c.cfg.Placement.Replicas(abs, len(c.conns), c.cfg.Replicas)
-	var lastErr error
+	replicas := c.view.Replicas(abs, c.cfg.Replicas)
+	attempts := make([]func() hedgeResult, len(replicas))
 	for i, srv := range replicas {
-		resp, err := c.conns[srv].Call(&transport.Request{Op: transport.OpOpen, Path: abs})
-		if err == nil && resp.OK() {
-			handle, size := resp.Handle, resp.Size
-			resp.Release()
-			c.bump(func(s *ClientStats) {
-				s.Redirected++
-				if i > 0 {
-					s.Failovers++
-				}
-			})
-			return &File{c: c, conn: c.conns[srv], handle: handle, size: size, path: abs}, nil
+		i, srv, conn := i, srv, c.conns[srv]
+		attempts[i] = func() hedgeResult {
+			resp, err := conn.Call(&transport.Request{Op: transport.OpOpen, Path: abs})
+			if err != nil {
+				return hedgeResult{err: err, ladder: i, srv: srv}
+			}
+			if !resp.OK() {
+				// The server answered with an application error (e.g. file
+				// absent on the PFS): no point trying replicas.
+				err = resp.Error()
+				resp.Release()
+				return hedgeResult{err: err, ladder: i, srv: srv, appErr: true}
+			}
+			return hedgeResult{resp: resp, ladder: i, srv: srv, conn: conn, handle: resp.Handle, opened: true}
 		}
-		if err == nil {
-			// The server answered with an application error (e.g. file
-			// absent on the PFS): no point trying replicas.
-			lastErr = resp.Error()
-			resp.Release()
-			break
-		}
-		lastErr = err
+	}
+	r := c.ladderCall(attempts)
+	if r.resp != nil {
+		size := r.resp.Size
+		r.resp.Release()
+		c.bump(func(s *ClientStats) {
+			s.Redirected++
+			if r.ladder > 0 {
+				s.Failovers++
+			}
+		})
+		return &File{c: c, conn: r.conn, handle: r.handle, size: size, path: abs, replicas: replicas, srv: r.srv}, nil
 	}
 	if c.cfg.DisableFallback {
-		return nil, fmt.Errorf("hvac client: open %s: %w", abs, lastErr)
+		return nil, fmt.Errorf("hvac client: open %s: %w", abs, r.err)
 	}
 	f, err := os.Open(abs) //hvac:pfs-fallback designated open fallback: every replica failed (§III-H)
 	if err != nil {
-		return nil, fmt.Errorf("hvac client: open %s: server(s) failed (%v) and PFS fallback failed: %w", abs, lastErr, err)
+		return nil, fmt.Errorf("hvac client: open %s: server(s) failed (%v) and PFS fallback failed: %w", abs, r.err, err)
 	}
 	c.bump(func(s *ClientStats) { s.Fallbacks++ })
 	return &File{c: c, fallback: f, path: abs}, nil
@@ -261,34 +304,243 @@ func (c *Client) bump(f func(*ClientStats)) {
 	c.mu.Unlock()
 }
 
-// segmentHome returns the connection serving segment i of path.
-func (c *Client) segmentHome(path string, seg int64) transport.Transport {
-	return c.conns[c.cfg.Placement.Place(segKey(path, seg), len(c.conns))]
+// hedgeResult is one replica attempt's outcome. Attempts normalise
+// failures before returning: a non-OK response is released inside the
+// attempt and surfaces as err (appErr marks server-side application
+// errors, which stop the ladder — the server is alive, the request is
+// just unserveable). On success resp is owned by the receiver; opened
+// marks a live server-side whole-file handle (conn, handle) the
+// receiver must adopt or retire.
+type hedgeResult struct {
+	resp   *transport.Response
+	err    error
+	ladder int // index into the attempt ladder
+	srv    int // server index the attempt spoke to
+	conn   transport.Transport
+	handle int64
+	opened bool
+	appErr bool
+	hedged bool // set by the engine: won by a timer-launched attempt
 }
 
-// openSegmented opens path in segment-striped mode: the size comes from a
-// stat on segment 0's home server; reads hit each segment's own home.
+// spawnHedge runs fn on a goroutine joined by Client.Close. Once Close
+// has begun waiting the WaitGroup must not grow, so a closing client
+// runs fn synchronously instead (every fn is bounded by the per-call
+// deadline).
+func (c *Client) spawnHedge(fn func()) {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		fn()
+		return
+	}
+	c.hedgeWG.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.hedgeWG.Done()
+		fn()
+	}()
+}
+
+// discardHedge retires a losing attempt: its pooled response returns to
+// the pool and any server-side handle it opened is closed best-effort.
+func (c *Client) discardHedge(r hedgeResult) {
+	if r.resp != nil {
+		r.resp.Release()
+	}
+	if r.opened {
+		if resp, err := r.conn.Call(&transport.Request{Op: transport.OpClose, Handle: r.handle}); err == nil {
+			resp.Release()
+		}
+	}
+}
+
+// drainHedges retires the attempts still in flight after a winner was
+// chosen, off the caller's critical path.
+func (c *Client) drainHedges(ch chan hedgeResult, outstanding int) {
+	if outstanding == 0 {
+		return
+	}
+	c.spawnHedge(func() {
+		for i := 0; i < outstanding; i++ {
+			c.discardHedge(<-ch)
+		}
+	})
+}
+
+// ladderCall runs an ordered replica-attempt ladder. With hedging
+// disabled the rungs run strictly sequentially: first success or
+// application error wins, a transport failure moves to the next rung —
+// the pre-hedging failover behaviour, byte for byte. With HedgeAfter
+// set the ladder races: see runHedged.
+func (c *Client) ladderCall(attempts []func() hedgeResult) hedgeResult {
+	if c.cfg.HedgeAfter <= 0 || len(attempts) == 1 {
+		var last hedgeResult
+		for i := range attempts {
+			last = attempts[i]()
+			if (last.err == nil && last.resp != nil) || last.appErr {
+				return last
+			}
+		}
+		return last
+	}
+	return c.runHedged(attempts)
+}
+
+// runHedged races the attempt ladder: rung 0 fires immediately; each
+// time HedgeAfter elapses without an answer the next rung fires too
+// (counted in Hedges), and a rung that fails on transport error is
+// replaced at once. The first success wins — counted in HedgeWins when
+// the winner was a timer-launched hedge — and the losers are drained in
+// the background. An application error wins negatively: the server
+// answered, so further replicas are pointless.
+func (c *Client) runHedged(attempts []func() hedgeResult) hedgeResult {
+	ch := make(chan hedgeResult, len(attempts)) // buffered to ladder size: attempt sends never block
+	timed := make([]bool, len(attempts))
+	launched, outstanding := 0, 0
+	launch := func(hedge bool) {
+		a := attempts[launched]
+		timed[launched] = hedge
+		launched++
+		outstanding++
+		c.spawnHedge(func() { ch <- a() })
+	}
+	launch(false)
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	rearm := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.cfg.HedgeAfter)
+	}
+	var last hedgeResult
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if (r.err == nil && r.resp != nil) || r.appErr {
+				r.hedged = timed[r.ladder]
+				if r.hedged && !r.appErr {
+					c.bump(func(s *ClientStats) { s.HedgeWins++ })
+				}
+				c.drainHedges(ch, outstanding)
+				return r
+			}
+			last = r
+			if launched < len(attempts) {
+				launch(false)
+				rearm()
+			} else if outstanding == 0 {
+				return last
+			}
+		case <-timer.C:
+			if launched < len(attempts) {
+				c.bump(func(s *ClientStats) { s.Hedges++ })
+				launch(true)
+				timer.Reset(c.cfg.HedgeAfter)
+			}
+		}
+	}
+}
+
+// closeHandleAsync retires a server-side handle off the caller's
+// critical path (the server may be the one that just failed, so the
+// close may burn a full call timeout).
+func (c *Client) closeHandleAsync(conn transport.Transport, handle int64) {
+	c.spawnHedge(func() {
+		if resp, err := conn.Call(&transport.Request{Op: transport.OpClose, Handle: handle}); err == nil {
+			resp.Release()
+		}
+	})
+}
+
+// segmentReplicas returns the replica ladder (server indices, primary
+// first) serving segment seg of path under the current view.
+func (c *Client) segmentReplicas(path string, seg int64) []int {
+	return c.view.Replicas(segKey(path, seg), c.cfg.Replicas)
+}
+
+// openSegmented opens path in segment-striped mode: the size comes from
+// a stat walked down segment 0's replica ladder (the same failover loop
+// whole-file opens get — a dead segment-0 home no longer forces the PFS
+// while its replicas are healthy); reads hit each segment's own homes.
 func (c *Client) openSegmented(abs string) (*File, error) {
-	resp, err := c.segmentHome(abs, 0).Call(&transport.Request{Op: transport.OpStat, Path: abs})
-	if err == nil && resp.OK() {
-		size := resp.Size
-		resp.Release()
-		c.bump(func(s *ClientStats) { s.Redirected++ })
+	replicas := c.segmentReplicas(abs, 0)
+	attempts := make([]func() hedgeResult, len(replicas))
+	for i, srv := range replicas {
+		i, srv, conn := i, srv, c.conns[srv]
+		attempts[i] = func() hedgeResult {
+			resp, err := conn.Call(&transport.Request{Op: transport.OpStat, Path: abs})
+			if err != nil {
+				return hedgeResult{err: err, ladder: i, srv: srv}
+			}
+			if !resp.OK() {
+				err = resp.Error()
+				resp.Release()
+				return hedgeResult{err: err, ladder: i, srv: srv, appErr: true}
+			}
+			return hedgeResult{resp: resp, ladder: i, srv: srv}
+		}
+	}
+	r := c.ladderCall(attempts)
+	if r.resp != nil {
+		size := r.resp.Size
+		r.resp.Release()
+		c.bump(func(s *ClientStats) {
+			s.Redirected++
+			if r.ladder > 0 {
+				s.Failovers++
+			}
+		})
 		return &File{c: c, path: abs, size: size, segmented: true}, nil
 	}
-	if err == nil {
-		err = resp.Error()
-		resp.Release()
-	}
+	err := r.err
 	if c.cfg.DisableFallback {
 		return nil, fmt.Errorf("hvac client: open %s: %w", abs, err)
 	}
-	f, ferr := os.Open(abs) //hvac:pfs-fallback designated open fallback: segment-0 home server failed (§III-H)
+	f, ferr := os.Open(abs) //hvac:pfs-fallback designated open fallback: every segment-0 replica failed (§III-H)
 	if ferr != nil {
 		return nil, fmt.Errorf("hvac client: open %s: server failed (%v) and PFS fallback failed: %w", abs, err, ferr)
 	}
 	c.bump(func(s *ClientStats) { s.Fallbacks++ })
 	return &File{c: c, fallback: f, path: abs}, nil
+}
+
+// fetchSegment reads one in-segment range down the segment's replica
+// ladder: sequential failover normally, raced when hedging is armed.
+// Stateless (OpReadAt carries the path), so no handle migrates.
+func (f *File) fetchSegment(seg, pos, want int64) (*transport.Response, error) {
+	replicas := f.c.segmentReplicas(f.path, seg)
+	attempts := make([]func() hedgeResult, len(replicas))
+	for i, srv := range replicas {
+		i, srv, conn := i, srv, f.c.conns[srv]
+		attempts[i] = func() hedgeResult {
+			resp, err := conn.Call(&transport.Request{
+				Op: transport.OpReadAt, Path: f.path, Off: pos, Len: want,
+			})
+			if err != nil {
+				return hedgeResult{err: err, ladder: i, srv: srv}
+			}
+			if !resp.OK() {
+				// Any failure is worth the next replica: unlike opens, a
+				// segment read has no unserveable-path error a replica
+				// could not also answer differently.
+				err = resp.Error()
+				resp.Release()
+				return hedgeResult{err: err, ladder: i, srv: srv}
+			}
+			return hedgeResult{resp: resp, ladder: i, srv: srv}
+		}
+	}
+	r := f.c.ladderCall(attempts)
+	if r.resp != nil {
+		return r.resp, nil
+	}
+	return nil, r.err
 }
 
 // readAtSegmented splits the range over the per-segment home servers.
@@ -312,14 +564,8 @@ func (f *File) readAtSegmented(p []byte, off int64) (int, error) {
 		if want > transport.MaxFrame/2 {
 			want = transport.MaxFrame / 2
 		}
-		resp, err := f.c.segmentHome(f.path, seg).Call(&transport.Request{
-			Op: transport.OpReadAt, Path: f.path, Off: pos, Len: want,
-		})
-		if err != nil || !resp.OK() {
-			if err == nil {
-				err = resp.Error()
-				resp.Release()
-			}
+		resp, err := f.fetchSegment(seg, pos, want)
+		if err != nil {
 			if f.c.cfg.DisableFallback {
 				return total, err
 			}
@@ -379,14 +625,8 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		if want > transport.MaxFrame/2 {
 			want = transport.MaxFrame / 2
 		}
-		resp, err := f.conn.Call(&transport.Request{
-			Op: transport.OpRead, Handle: f.handle, Off: off + int64(total), Len: want,
-		})
-		if err != nil || !resp.OK() {
-			if err == nil {
-				err = resp.Error()
-				resp.Release()
-			}
+		resp, err := f.fetchChunk(off+int64(total), want)
+		if err != nil {
 			if f.c.cfg.DisableFallback {
 				return total, err
 			}
@@ -411,10 +651,100 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
+// fetchChunk reads one ranged chunk of a whole-file handle. The first
+// rung reads through the current (conn, handle); with Replicas > 1 the
+// other replicas form failover rungs that open their own handle on path
+// and read the same range — sequentially after a failure, or raced by
+// the hedge timer when HedgeAfter is armed. When a replica rung wins,
+// the File migrates to its handle (the §III-H failover: later reads go
+// straight to the live replica) and the old handle is retired
+// best-effort in the background.
+func (f *File) fetchChunk(off, want int64) (*transport.Response, error) {
+	f.mu.Lock()
+	conn, handle, cur := f.conn, f.handle, f.srv
+	f.mu.Unlock()
+	attempts := []func() hedgeResult{func() hedgeResult {
+		resp, err := conn.Call(&transport.Request{Op: transport.OpRead, Handle: handle, Off: off, Len: want})
+		if err != nil {
+			return hedgeResult{err: err, srv: cur}
+		}
+		if !resp.OK() {
+			err = resp.Error()
+			resp.Release()
+			return hedgeResult{err: err, srv: cur}
+		}
+		return hedgeResult{resp: resp, srv: cur, conn: conn, handle: handle}
+	}}
+	for _, srv := range f.replicas {
+		if srv == cur {
+			continue
+		}
+		i, srv, rconn := len(attempts), srv, f.c.conns[srv]
+		attempts = append(attempts, func() hedgeResult {
+			oresp, err := rconn.Call(&transport.Request{Op: transport.OpOpen, Path: f.path})
+			if err != nil {
+				return hedgeResult{err: err, ladder: i, srv: srv}
+			}
+			if !oresp.OK() {
+				err = oresp.Error()
+				oresp.Release()
+				return hedgeResult{err: err, ladder: i, srv: srv}
+			}
+			h := oresp.Handle
+			oresp.Release()
+			resp, rerr := rconn.Call(&transport.Request{Op: transport.OpRead, Handle: h, Off: off, Len: want})
+			if rerr == nil && !resp.OK() {
+				rerr = resp.Error()
+				resp.Release()
+			}
+			if rerr != nil {
+				// The replica opened but could not read: retire its handle
+				// before reporting the rung failed.
+				if cresp, cerr := rconn.Call(&transport.Request{Op: transport.OpClose, Handle: h}); cerr == nil {
+					cresp.Release()
+				}
+				return hedgeResult{err: rerr, ladder: i, srv: srv}
+			}
+			return hedgeResult{resp: resp, ladder: i, srv: srv, conn: rconn, handle: h, opened: true}
+		})
+	}
+	r := f.c.ladderCall(attempts)
+	if r.resp == nil {
+		return nil, r.err
+	}
+	if r.opened {
+		f.adopt(r.conn, r.handle, r.srv)
+	}
+	return r.resp, nil
+}
+
+// adopt migrates the File to a replica's handle after a mid-read
+// failover; the superseded handle is closed in the background. A File
+// that already closed retires the new handle instead of keeping it.
+func (f *File) adopt(conn transport.Transport, handle int64, srv int) {
+	f.mu.Lock()
+	if f.closed || f.fallback != nil {
+		f.mu.Unlock()
+		f.c.closeHandleAsync(conn, handle)
+		return
+	}
+	oldConn, oldHandle := f.conn, f.handle
+	f.conn, f.handle, f.srv = conn, handle, srv
+	f.mu.Unlock()
+	f.c.bump(func(s *ClientStats) { s.Failovers++ })
+	f.c.closeHandleAsync(oldConn, oldHandle)
+}
+
 // degradeToPFS converts the handle to a direct PFS handle after a server
 // failure and completes the read from it.
 func (f *File) degradeToPFS(p []byte, off int64) (int, error) {
 	f.mu.Lock()
+	if f.closed {
+		// Close already snapshotted the serving state; opening a PFS
+		// handle now would leak it.
+		f.mu.Unlock()
+		return 0, os.ErrClosed
+	}
 	if f.fallback == nil {
 		pf, err := os.Open(f.path) //hvac:pfs-fallback designated mid-read fallback: the serving server died with the handle open (§III-H)
 		if err != nil {
@@ -536,6 +866,12 @@ func (f *File) Close() error {
 	f.closed = true
 	pending := f.raPending
 	f.raPending = false
+	// Snapshot the serving state under mu: a concurrent read may be
+	// degrading to the PFS or adopting a replica handle right now, and
+	// whatever lands after this instant cleans up after itself (both
+	// check f.closed).
+	fb, segmented := f.fallback, f.segmented
+	conn, handle := f.conn, f.handle
 	f.mu.Unlock()
 	if pending {
 		// Drain the in-flight chunk so its pooled buffer is recycled; the
@@ -545,13 +881,13 @@ func (f *File) Close() error {
 		}
 	}
 	f.raWG.Wait()
-	if f.fallback != nil {
-		return f.fallback.Close()
+	if fb != nil {
+		return fb.Close()
 	}
-	if f.segmented {
+	if segmented {
 		return nil // stateless: no server-side handle to tear down
 	}
-	resp, err := f.conn.Call(&transport.Request{Op: transport.OpClose, Handle: f.handle})
+	resp, err := conn.Call(&transport.Request{Op: transport.OpClose, Handle: handle})
 	if err != nil {
 		return err
 	}
@@ -568,7 +904,9 @@ func (f *File) Close() error {
 // will be cached on first read instead).
 // The hints ride one OpReadBatch (with BatchFlagPrefetch) per home
 // server instead of one RPC per file; a failed batch call degrades to
-// the per-file OpPrefetch hints.
+// the per-file OpPrefetch hints. With Replicas > 1 every replica home
+// gets the hint, not just the primary, so a failover read after a
+// server loss lands on a warm cache (§III-H replica warming).
 func (c *Client) Prefetch(paths []string) int {
 	// Group by home server into ordered slices (not a map keyed by server:
 	// the sim mirror shares this shape and must iterate deterministically).
@@ -578,8 +916,9 @@ func (c *Client) Prefetch(paths []string) int {
 		if err != nil || !c.Intercepts(abs) {
 			continue
 		}
-		home := c.Home(abs)
-		groups[home] = append(groups[home], abs)
+		for _, srv := range c.view.Replicas(abs, c.cfg.Replicas) {
+			groups[srv] = append(groups[srv], abs)
+		}
 	}
 	accepted := 0
 	for srv, group := range groups {

@@ -44,6 +44,7 @@ import (
 
 	"hvac/internal/cachestore"
 	"hvac/internal/metrics"
+	"hvac/internal/place"
 	"hvac/internal/transport"
 )
 
@@ -91,6 +92,23 @@ type ServerConfig struct {
 	// one-read-per-cold-file property), deployments can route it at an
 	// alternative PFS mount.
 	OpenPFS func(path string) (*os.File, error)
+	// Peers, SelfID, Replicas and Placement arm replica warming
+	// (§III-H): after a demand fill completes, the server forwards the
+	// key to its other replica homes as prefetch hints, so a failover
+	// read hits a warm cache instead of triggering a cold PFS storm.
+	// Peers lists every server address of the allocation in client
+	// order, SelfID is this server's index in it, Replicas is the
+	// placement replication factor, and Placement must match the
+	// clients' policy (nil means ModHash). Leave any of them zero to
+	// disable warming; tests with ephemeral ports can wire the same
+	// state after startup via SetPeers.
+	Peers     []string
+	SelfID    int
+	Replicas  int
+	Placement place.Policy
+	// DialPeer overrides how peer links are dialed (the warm-path test
+	// seam); nil means TCP via transport.Dial.
+	DialPeer func(addr string) transport.Transport
 }
 
 // ServerStats counts server-side activity. The counters satisfy an
@@ -121,6 +139,10 @@ type ServerStats struct {
 	// DemandRejects counts demand fetches refused on a full queue; the
 	// refused request is served read-through by its handler instead.
 	DemandRejects int64
+	// ReplicaWarms counts warm hints this server sent to peer replicas
+	// that were accepted (the peer may still drop the hint under its own
+	// prefetch backpressure, counted there as PrefetchDrops).
+	ReplicaWarms int64
 }
 
 // serverCounters is the live form of ServerStats: typed atomics, so the
@@ -135,6 +157,7 @@ type serverCounters struct {
 	bytesFetched         atomic.Int64
 	prefetchDrops        atomic.Int64
 	demandRejects        atomic.Int64
+	replicaWarms         atomic.Int64
 }
 
 func (c *serverCounters) snapshot() ServerStats {
@@ -150,6 +173,7 @@ func (c *serverCounters) snapshot() ServerStats {
 		BytesFetched:  c.bytesFetched.Load(),
 		PrefetchDrops: c.prefetchDrops.Load(),
 		DemandRejects: c.demandRejects.Load(),
+		ReplicaWarms:  c.replicaWarms.Load(),
 	}
 }
 
@@ -181,11 +205,12 @@ func (fe *fillEntry) publish(f *cachestore.Fill) {
 // fetchTask names one data-mover copy: a whole file (Len == 0) or one
 // segment of it.
 type fetchTask struct {
-	key   string // cache-store key ("path" or "path@segIdx")
-	path  string
-	off   int64
-	len   int64 // 0 = to EOF (whole file)
-	entry *fillEntry
+	key    string // cache-store key ("path" or "path@segIdx")
+	path   string
+	off    int64
+	len    int64 // 0 = to EOF (whole file)
+	demand bool  // a client is waiting; completed demand fills warm the replicas
+	entry  *fillEntry
 }
 
 type openHandle struct {
@@ -223,6 +248,16 @@ type Server struct {
 	idle     *sync.Cond // signalled when inflight drains to empty
 	inflight map[string]*fillEntry
 	closed   bool
+
+	// peerMu guards the replica-warming wiring: the peer address list,
+	// its membership view, and the lazily dialed peer links. Never held
+	// across a Call.
+	peerMu    sync.Mutex
+	peers     []string
+	self      int
+	pview     *place.View
+	peerConns []transport.Transport
+	dialPeer  func(addr string) transport.Transport
 
 	latOpen  metrics.Histogram
 	latRead  metrics.Histogram
@@ -269,6 +304,9 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		s.openPFS = os.Open
 	}
 	s.idle = sync.NewCond(&s.mu)
+	if len(cfg.Peers) > 0 {
+		s.SetPeers(cfg.Peers, cfg.SelfID)
+	}
 	for i := 0; i < cfg.Movers; i++ {
 		s.moverWG.Add(1)
 		go s.mover()
@@ -285,6 +323,63 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.rpc.Addr() }
+
+// SetPeers wires (or rewires) the replica-warming peer set: peers is
+// every server address of the allocation in client order, self is this
+// server's index in it. Tests call it after startup, once the cluster's
+// ephemeral ports are known; StartServer calls it for configs that name
+// their peers up front. Existing peer links are retired.
+func (s *Server) SetPeers(peers []string, self int) {
+	var stale []transport.Transport
+	s.peerMu.Lock()
+	for _, conn := range s.peerConns {
+		if conn != nil {
+			stale = append(stale, conn)
+		}
+	}
+	s.peers = append([]string(nil), peers...)
+	s.self = self
+	s.peerConns = make([]transport.Transport, len(peers))
+	if len(peers) > 0 {
+		pol := s.cfg.Placement
+		if pol == nil {
+			pol = place.ModHash{}
+		}
+		s.pview = place.NewView(pol, len(peers))
+	} else {
+		s.pview = nil
+	}
+	s.peerMu.Unlock()
+	for _, conn := range stale {
+		conn.Close()
+	}
+}
+
+// View returns the server's membership view over its peer set, or nil
+// when replica warming is not wired. Leave/Join on it steer warm hints
+// away from (or back to) a member.
+func (s *Server) View() *place.View {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	return s.pview
+}
+
+// peerConn returns the lazily dialed link to peer i, nil for self.
+func (s *Server) peerConn(i int) transport.Transport {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if i < 0 || i >= len(s.peerConns) || i == s.self {
+		return nil
+	}
+	if s.peerConns[i] == nil {
+		dial := s.cfg.DialPeer
+		if dial == nil {
+			dial = func(addr string) transport.Transport { return transport.Dial(addr) }
+		}
+		s.peerConns[i] = dial(s.peers[i])
+	}
+	return s.peerConns[i]
+}
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
@@ -337,6 +432,15 @@ func (s *Server) Close() {
 			h.release()
 		}
 	}
+	s.peerMu.Lock()
+	peerConns := s.peerConns
+	s.peerConns = nil
+	s.peerMu.Unlock()
+	for _, conn := range peerConns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
 	_ = s.store.Purge()          // best-effort: leftover cache files are re-usable garbage
 	_ = os.Remove(s.store.Dir()) // fails harmlessly if the purge left files behind
 }
@@ -366,15 +470,52 @@ func (s *Server) mover() {
 	}
 }
 
-// runFetch executes one fetch task end to end.
+// runFetch executes one fetch task end to end. A successful demand fill
+// warms the key's replicas before the task retires, so once WaitIdle
+// returns on this server every warm hint it owed is already registered
+// on the peers (prefetch fills never re-warm — warming cannot cascade).
 func (s *Server) runFetch(task fetchTask) {
 	start := time.Now()
 	err := s.fillIn(task)
 	s.latCopy.Observe(time.Since(start))
 	if err == nil {
 		s.stats.misses.Add(1) // a completed first-read fill
+		if task.demand {
+			s.warmReplicas(task)
+		}
 	}
 	s.finishFetch(task, err)
+}
+
+// warmReplicas forwards a completed demand fill to the key's other
+// replica homes as prefetch hints — the §III-H replica-warming flow:
+// the primary serves the cold read, the secondaries fill through their
+// low-priority prefetch queue (their own counted backpressure applies),
+// and a later failover read finds a warm cache. Segment keys carry
+// their byte range so the peer fills exactly the segment it homes.
+func (s *Server) warmReplicas(task fetchTask) {
+	s.peerMu.Lock()
+	view, r := s.pview, s.cfg.Replicas
+	s.peerMu.Unlock()
+	if view == nil || r < 2 {
+		return
+	}
+	for _, peer := range view.Replicas(task.key, r) {
+		conn := s.peerConn(peer) // nil for self
+		if conn == nil {
+			continue
+		}
+		resp, err := conn.Call(&transport.Request{
+			Op: transport.OpPrefetch, Path: task.path, Off: task.off, Len: task.len,
+		})
+		if err != nil {
+			continue // a dead peer warms on its own first read instead
+		}
+		if resp.OK() {
+			s.stats.replicaWarms.Add(1)
+		}
+		resp.Release()
+	}
 }
 
 // finishFetch publishes the task's outcome and retires its single-flight
@@ -470,6 +611,7 @@ func (s *Server) scheduleFetch(task fetchTask, demand bool) *fillEntry {
 	}
 	fe := &fillEntry{ready: make(chan struct{}), done: make(chan struct{})}
 	task.entry = fe
+	task.demand = demand
 	q := s.prefetchQ
 	if demand {
 		q = s.demandQ
@@ -717,10 +859,24 @@ func (s *Server) handleClose(req *transport.Request) *transport.Response {
 // it — the pre-population path that erases the first-epoch overhead the
 // paper leaves to future work (§IV-C). Prefetch hints ride the
 // low-priority queue: demand misses preempt them, and a full queue drops
-// the hint rather than blocking the handler.
+// the hint rather than blocking the handler. A hint with Len > 0 names
+// one segment (replica warming forwards segment fills this way); it is
+// only honoured when this server caches at the same segment size.
 func (s *Server) handlePrefetch(req *transport.Request) *transport.Response {
 	if err := s.allowed(req.Path); err != nil {
 		return errResp(err)
+	}
+	if req.Len > 0 {
+		segSize := s.cfg.SegmentSize
+		if segSize <= 0 || req.Len != segSize || req.Off%segSize != 0 {
+			return errResp(fmt.Errorf("hvac server: segment hint [%d,%d) does not match segment size %d", req.Off, req.Off+req.Len, segSize))
+		}
+		segIdx := req.Off / segSize
+		key := segKey(req.Path, segIdx)
+		if !s.store.Contains(key) {
+			s.scheduleFetch(fetchTask{key: key, path: req.Path, off: req.Off, len: segSize}, false)
+		}
+		return &transport.Response{Status: transport.StatusOK}
 	}
 	if !s.store.Contains(req.Path) {
 		s.scheduleFetch(fetchTask{key: req.Path, path: req.Path}, false)

@@ -32,6 +32,7 @@ type SimClient struct {
 	node     simnet.NodeID
 	fabric   *simnet.Fabric
 	servers  []*SimServer
+	view     *place.View
 	placeFn  func(path string) int
 	replicas func(path string) []int
 	gpfsC    *pfs.Client // PFS fallback path
@@ -59,14 +60,16 @@ func NewSimClient(eng *sim.Engine, node simnet.NodeID, fabric *simnet.Fabric,
 	if replicaCount < 1 {
 		replicaCount = 1
 	}
+	view := place.NewView(policy, len(servers))
 	c := &SimClient{
 		eng:     eng,
 		node:    node,
 		fabric:  fabric,
 		servers: servers,
-		placeFn: func(path string) int { return policy.Place(path, len(servers)) },
+		view:    view,
+		placeFn: func(path string) int { return view.Place(path) },
 		replicas: func(path string) []int {
-			return policy.Replicas(path, len(servers), replicaCount)
+			return view.Replicas(path, replicaCount)
 		},
 		costs:   costs,
 		handles: vfs.NewHandleTable(),
@@ -132,6 +135,11 @@ func (c *SimClient) SetPlacement(fn func(path string) int) {
 	c.replicas = func(path string) []int { return []int{fn(path)} }
 }
 
+// View returns the client's versioned membership view. Leave/Join steer
+// placement away from departed servers with minimal key movement — the
+// sim mirror of Client.View in real mode. Overridden by SetPlacement.
+func (c *SimClient) View() *place.View { return c.view }
+
 // Stats returns a snapshot of the client counters.
 func (c *SimClient) Stats() SimClientStats { return c.stats }
 
@@ -161,12 +169,19 @@ func (c *SimClient) groupByServer(paths []string) [][]string {
 	return groups
 }
 
-// Prefetch asks each file's home server to pre-populate its cache without
-// reading the file — the §IV-C pre-population that hides the epoch-1
-// copy. The hints ride one batched RPC per home server; failed servers
+// Prefetch asks each of a file's R homes to pre-populate its cache
+// without reading the file — the §IV-C pre-population that hides the
+// epoch-1 copy, extended to warm every replica so a failover target is
+// already hot. The hints ride one batched RPC per server; failed servers
 // are skipped.
 func (c *SimClient) Prefetch(p *sim.Proc, paths []string) {
-	for si, group := range c.groupByServer(paths) {
+	groups := make([][]string, len(c.servers))
+	for _, path := range paths {
+		for _, si := range c.replicas(path) {
+			groups[si] = append(groups[si], path)
+		}
+	}
+	for si, group := range groups {
 		if len(group) == 0 {
 			continue
 		}

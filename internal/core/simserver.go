@@ -7,6 +7,7 @@ import (
 	"hvac/internal/cachestore"
 	"hvac/internal/device"
 	"hvac/internal/pfs"
+	"hvac/internal/place"
 	"hvac/internal/sim"
 	"hvac/internal/simnet"
 )
@@ -51,6 +52,7 @@ type SimServerStats struct {
 	Opens, Reads, Closes int64
 	Hits, Misses         int64
 	BatchEntries         int64 // files served through scatter-gather batch reads
+	ReplicaWarms         int64 // copies pulled in because a peer's demand fill warmed us
 	BytesServed          int64
 	BytesFetched         int64
 	Evictions            int64
@@ -69,6 +71,12 @@ type SimServer struct {
 	mover  *sim.Resource
 	index  *cachestore.Index
 	costs  SimCosts
+
+	// Replica-warming wiring (SetCluster); nil/0 disables warming.
+	cluster      []*SimServer
+	self         int
+	view         *place.View
+	replicaCount int
 
 	inflight map[string]bool
 	failed   bool
@@ -93,6 +101,23 @@ func NewSimServer(eng *sim.Engine, node simnet.NodeID, fabric *simnet.Fabric,
 		inflight: make(map[string]bool),
 	}
 }
+
+// SetCluster wires this instance into the replicated cluster so its
+// demand fills warm the key's other homes — the sim mirror of
+// ServerConfig.Peers in real mode. Call once after constructing every
+// instance; replicas < 2 disables warming.
+func (s *SimServer) SetCluster(servers []*SimServer, self int, policy place.Policy, replicas int) {
+	if policy == nil {
+		policy = place.ModHash{}
+	}
+	s.cluster = servers
+	s.self = self
+	s.view = place.NewView(policy, len(servers))
+	s.replicaCount = replicas
+}
+
+// View returns the membership view set by SetCluster (nil before).
+func (s *SimServer) View() *place.View { return s.view }
 
 // Node returns the compute node hosting this instance.
 func (s *SimServer) Node() simnet.NodeID { return s.node }
@@ -211,6 +236,56 @@ func (s *SimServer) scheduleCopy(path string, size int64, fromPFS bool) {
 		}
 		s.stats.Evictions += int64(len(evicted))
 		s.stats.Misses++
+		s.stats.BytesFetched += size
+		if !fromPFS {
+			// A demand fill warms the key's other homes so a failover
+			// target already holds the bytes (mirror of warmReplicas in
+			// real mode). Prefetch fills never cascade.
+			s.warmPeers(path, size)
+		}
+	})
+}
+
+// warmPeers schedules replica-warming copies of key on its other homes.
+func (s *SimServer) warmPeers(key string, size int64) {
+	if s.view == nil || s.replicaCount < 2 {
+		return
+	}
+	for _, si := range s.view.Replicas(key, s.replicaCount) {
+		if si == s.self {
+			continue
+		}
+		s.cluster[si].warm(key, size)
+	}
+}
+
+// warm schedules a warming copy: this instance pulls size bytes of key
+// from the PFS into its own cache. No metadata transaction — the sender
+// already resolved the size when it served the demand read.
+func (s *SimServer) warm(key string, size int64) {
+	if s.failed || s.index.Peek(key) || s.inflight[key] {
+		return
+	}
+	s.inflight[key] = true
+	s.eng.Spawn("hvac-warm", func(p *sim.Proc) {
+		release := s.mover.Acquire(p)
+		defer release()
+		defer delete(s.inflight, key)
+		if s.failed {
+			return
+		}
+		p.Sleep(s.costs.CopyOverhead)
+		s.gpfs.ReadBytes(p, size)
+		if s.fabric != nil {
+			s.fabric.Send(p, s.node, s.node, size)
+		}
+		s.dev.Write(p, size)
+		evicted, err := s.index.Insert(key, size)
+		if err != nil {
+			return
+		}
+		s.stats.Evictions += int64(len(evicted))
+		s.stats.ReplicaWarms++
 		s.stats.BytesFetched += size
 	})
 }

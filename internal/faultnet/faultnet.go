@@ -46,6 +46,11 @@ const (
 	// Corrupt flips bits in the encoded response frame, so the client's
 	// decoder sees a damaged frame.
 	Corrupt
+	// Kill marks the server dead from this call on: the triggering call
+	// and every later call to the same server — any op — fail refused.
+	// One Kill rule at a chosen call index models a server crashing at
+	// one instant mid-epoch.
+	Kill
 )
 
 // String names the fault for traces and error messages.
@@ -65,6 +70,8 @@ func (f Fault) String() string {
 		return "truncate"
 	case Corrupt:
 		return "corrupt"
+	case Kill:
+		return "kill"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(f))
 	}
@@ -80,6 +87,9 @@ var (
 	// ErrHung is returned when a hung call hits the schedule's
 	// HangTimeout or the injector is closed.
 	ErrHung = errors.New("faultnet: call hung")
+	// ErrKilled is returned for every call to a server a Kill rule has
+	// marked dead.
+	ErrKilled = errors.New("faultnet: server killed")
 	// ErrUndetectedCorruption is returned when a damaged frame happens to
 	// still decode; the injector refuses to deliver silently corrupted
 	// bytes, because the chaos invariants require byte-identical reads.
@@ -164,6 +174,7 @@ type Injector struct {
 	mu     sync.Mutex
 	counts map[countKey]int64
 	trace  []Event
+	dead   map[string]bool
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -177,6 +188,7 @@ func New(sched Schedule) *Injector {
 	return &Injector{
 		sched:  sched,
 		counts: make(map[countKey]int64),
+		dead:   make(map[string]bool),
 		closed: make(chan struct{}),
 	}
 }
@@ -207,6 +219,18 @@ func (in *Injector) Injected() int {
 	return n
 }
 
+// DeadServers returns the names of servers a Kill rule has marked dead,
+// in no particular order.
+func (in *Injector) DeadServers() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.dead))
+	for s := range in.dead {
+		out = append(out, s)
+	}
+	return out
+}
+
 // Wrap decorates t with the injector's schedule under the given server
 // name (rule scoping and traces use the name, not t's address, so runs
 // with ephemeral ports stay comparable).
@@ -223,10 +247,18 @@ func (in *Injector) next(server string, op transport.Op) (Fault, Rule, int64) {
 	idx := in.counts[k]
 	in.counts[k] = idx + 1
 	fault, rule := None, Rule{}
-	for ri, r := range in.sched.Rules {
-		if r.matches(in.sched.Seed, server, op, idx, ri) {
-			fault, rule = r.Fault, r
-			break
+	if in.dead[server] {
+		// A killed server never answers again, whatever the rules say.
+		fault = Kill
+	} else {
+		for ri, r := range in.sched.Rules {
+			if r.matches(in.sched.Seed, server, op, idx, ri) {
+				fault, rule = r.Fault, r
+				break
+			}
+		}
+		if fault == Kill {
+			in.dead[server] = true
 		}
 	}
 	in.trace = append(in.trace, Event{Server: server, Op: op, Index: idx, Fault: fault})
@@ -259,6 +291,8 @@ func (ft *faultTransport) Call(req *transport.Request) (*transport.Response, err
 		return ft.inner.Call(req)
 	case Refuse:
 		return nil, fmt.Errorf("faultnet: server %s: %w", ft.name, ErrRefused)
+	case Kill:
+		return nil, fmt.Errorf("faultnet: server %s: %w", ft.name, ErrKilled)
 	case Disconnect:
 		// The request reaches the server — its side effects (open
 		// counted, copy scheduled) happen — but the response is lost.

@@ -212,8 +212,87 @@ func TestCorrupterDamagesFramesDeterministically(t *testing.T) {
 	}
 }
 
+// TestKillMarksServerDead: a Kill rule at a call index fails that call
+// and every later call to the same server — any op — while other
+// servers stay untouched, and the trace still replays bit-for-bit.
+func TestKillMarksServerDead(t *testing.T) {
+	sched := Schedule{Rules: []Rule{
+		{Server: "srv0", Op: transport.OpOpen, Offset: 2, Fault: Kill},
+	}}
+	in := New(sched)
+	defer in.Close()
+	s0 := in.Wrap("srv0", transport.NewSim("srv0", okHandler))
+	s1 := in.Wrap("srv1", transport.NewSim("srv1", okHandler))
+
+	for i := 0; i < 2; i++ {
+		if _, err := s0.Call(&transport.Request{Op: transport.OpOpen, Path: "/pfs/f"}); err != nil {
+			t.Fatalf("open %d before the kill index failed: %v", i, err)
+		}
+	}
+	if _, err := s0.Call(&transport.Request{Op: transport.OpOpen, Path: "/pfs/f"}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("open at the kill index: got %v, want ErrKilled", err)
+	}
+	// Dead is sticky and spans every op, not just the triggering one.
+	for _, op := range []transport.Op{transport.OpRead, transport.OpPing, transport.OpClose, transport.OpOpen} {
+		if _, err := s0.Call(&transport.Request{Op: op}); !errors.Is(err, ErrKilled) {
+			t.Fatalf("op %d after kill: got %v, want ErrKilled", op, err)
+		}
+	}
+	if _, err := s1.Call(&transport.Request{Op: transport.OpOpen, Path: "/pfs/f"}); err != nil {
+		t.Fatalf("kill leaked to srv1: %v", err)
+	}
+	if dead := in.DeadServers(); len(dead) != 1 || dead[0] != "srv0" {
+		t.Fatalf("DeadServers() = %v, want [srv0]", dead)
+	}
+
+	// The whole sequence, replayed on a fresh injector, produces the
+	// identical decision trace.
+	in2 := New(sched)
+	defer in2.Close()
+	r0 := in2.Wrap("srv0", transport.NewSim("srv0", okHandler))
+	r1 := in2.Wrap("srv1", transport.NewSim("srv1", okHandler))
+	for i := 0; i < 3; i++ {
+		_, _ = r0.Call(&transport.Request{Op: transport.OpOpen, Path: "/pfs/f"})
+	}
+	for _, op := range []transport.Op{transport.OpRead, transport.OpPing, transport.OpClose, transport.OpOpen} {
+		_, _ = r0.Call(&transport.Request{Op: op})
+	}
+	_, _ = r1.Call(&transport.Request{Op: transport.OpOpen, Path: "/pfs/f"})
+	if !reflect.DeepEqual(in.Trace(), in2.Trace()) {
+		t.Fatal("kill schedule did not replay bit-for-bit")
+	}
+}
+
+// TestPermanentlySlowServer: a Delay rule with no Every/Prob selector is
+// a permanently slow server — every call from Offset on is held.
+func TestPermanentlySlowServer(t *testing.T) {
+	in := New(Schedule{Rules: []Rule{
+		{Server: "srv0", Offset: 1, Fault: Delay, Delay: 10 * time.Millisecond},
+	}})
+	defer in.Close()
+	tr := in.Wrap("srv0", transport.NewSim("srv0", okHandler))
+
+	start := time.Now()
+	if _, err := tr.Call(&transport.Request{Op: transport.OpRead, Len: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Fatalf("call before Offset was delayed %v", elapsed)
+	}
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		resp, err := tr.Call(&transport.Request{Op: transport.OpRead, Len: 4})
+		if err != nil || !resp.OK() {
+			t.Fatalf("slow call %d failed: %v", i, err)
+		}
+		if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+			t.Fatalf("slow call %d returned after %v, want >= 10ms", i, elapsed)
+		}
+	}
+}
+
 func TestFaultStringNames(t *testing.T) {
-	for f := None; f <= Corrupt; f++ {
+	for f := None; f <= Kill; f++ {
 		if strings.HasPrefix(f.String(), "fault(") {
 			t.Fatalf("fault %d has no name", f)
 		}

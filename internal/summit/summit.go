@@ -176,6 +176,11 @@ func (c *Cluster) StartHVAC(opts HVACOptions) *HVACJob {
 			job.Servers = append(job.Servers, srv)
 		}
 	}
+	if opts.Replicas > 1 {
+		for i, srv := range job.Servers {
+			srv.SetCluster(job.Servers, i, opts.Placement, opts.Replicas)
+		}
+	}
 	return job
 }
 

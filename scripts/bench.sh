@@ -21,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_PR4.json}
 OUT5=${2:-BENCH_PR5.json}
+OUT7=${3:-BENCH_PR7.json}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -123,3 +124,47 @@ EOF
 rm -f "$TMP.json"
 
 echo "bench: wrote $OUT5" >&2
+
+# --- ISSUE 7: failover epoch under a mid-epoch kill -------------------
+
+: > "$TMP"
+echo '--- failover benchmarks' >&2
+go test -run '^$' -bench 'FailoverEpoch' \
+	-benchtime 30x ./internal/core | tee -a "$TMP" >&2
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; popens = ""; fovers = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "pfsopens/op") popens = $(i - 1)
+		if ($i == "failovers/op") fovers = $(i - 1)
+	}
+	if (ns == "") next
+	if (out != "") out = out ",\n"
+	entry = sprintf("    \"%s\": {\"ns_op\": %s", name, ns)
+	if (popens != "") entry = entry sprintf(", \"pfsopens_op\": %s", popens)
+	if (fovers != "") entry = entry sprintf(", \"failovers_op\": %s", fovers)
+	out = out entry "}"
+}
+END { print out }
+' "$TMP" > "$TMP.json"
+
+cat > "$OUT7" <<EOF
+{
+  "issue": 7,
+  "description": "Live failover: a Kill schedule takes the busiest of 3 servers down mid-way through a warm 48-file epoch. R2 runs with replica warming (fill-time hints populate each key's secondary), R1 is the un-replicated degradation control. BenchmarkFailoverEpochR2 has no pre-PR baseline because replica failover did not exist — its comparison point is BenchmarkFailoverEpochR1. The counted columns are the stable cross-machine signal: pfsopens_op sums every PFS pass of the measured epoch (server read-throughs + client fallbacks + mid-read degrades) and must stay 0 at R=2; failovers_op counts the opens the kill migrated to a replica.",
+  "benchtime": "30x",
+  "baseline": {
+    "BenchmarkFailoverEpochR1": {"ns_op": 2034989, "pfsopens_op": 10, "failovers_op": 0}
+  },
+  "after": {
+$(cat "$TMP.json")
+  }
+}
+EOF
+rm -f "$TMP.json"
+
+echo "bench: wrote $OUT7" >&2
