@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hvaclint [-list] [-rules a,b,...] [-format text|json] [-stats] [packages]
+//	hvaclint [-list] [-rules a,b,...] [-format text|json|sarif] [-stats] [packages]
 //
 // With no arguments or the pattern "./...", every package of the module
 // is analysed — as one set, so the interprocedural analyzers (lockorder,
@@ -20,16 +20,20 @@
 //	 "message": ..., "suppressed": ...}
 //
 // including suppressed findings (suppressed entries never affect the
-// exit status; CI uses them for annotations). -stats appends a
+// exit status; CI uses them for annotations). -format sarif emits a
+// minimal SARIF 2.1.0 log for code-scanning upload. -stats appends a
 // per-analyzer finding count and wall time, so gate failures name the
-// rule and a slow suite names the analyzer. Findings can be suppressed
-// per line with //hvaclint:ignore <rule> <reason>.
+// rule and a slow suite names the analyzer; it always writes to
+// stderr, so machine-readable stdout (json, sarif) stays parseable
+// with -stats on. Findings can be suppressed per line with
+// //hvaclint:ignore <rule> <reason>.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,13 +63,17 @@ func main() {
 		}
 		return
 	}
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "hvaclint: unknown -format %q (want text or json)\n", *format)
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "hvaclint: unknown -format %q (want text, json or sarif)\n", *format)
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), analyzers, *format, *stats); err != nil {
+	findings, err := run(flag.Args(), analyzers, *format, *stats, os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hvaclint:", err)
 		os.Exit(2)
+	}
+	if findings > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -84,18 +92,22 @@ type jsonFinding struct {
 	Suppressed bool    `json:"suppressed"`
 }
 
-func run(args []string, analyzers []*analysis.Analyzer, format string, stats bool) error {
+// run executes the suite and writes findings to stdout (human or
+// machine format) and stats to stderr. It returns the number of
+// unsuppressed findings; the caller owns the exit code, which keeps
+// run testable.
+func run(args []string, analyzers []*analysis.Analyzer, format string, stats bool, stdout, stderr io.Writer) (int, error) {
 	root, err := moduleRoot()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	l, err := analysis.NewLoader(root)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	paths, err := selectPackages(l, root, args)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Load the selected packages and analyse them as one set: the
 	// interprocedural analyzers need the shared call graph.
@@ -103,12 +115,12 @@ func run(args []string, analyzers []*analysis.Analyzer, format string, stats boo
 	for _, ip := range paths {
 		pkg, err := l.Load(ip)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
 	if len(pkgs) == 0 {
-		return fmt.Errorf("no packages selected")
+		return 0, fmt.Errorf("no packages selected")
 	}
 	diags, timings := analysis.RunPackagesTimed(pkgs, analyzers)
 	for i := range diags {
@@ -137,40 +149,93 @@ func run(args []string, analyzers []*analysis.Analyzer, format string, stats boo
 				Suppressed: d.Suppressed,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			return err
+			return 0, err
+		}
+	case "sarif":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifLog(analyzers, diags)); err != nil {
+			return 0, err
 		}
 	default:
 		for _, d := range diags {
 			if d.Suppressed {
 				continue
 			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 		}
 	}
+	// Stats go to stderr unconditionally: stdout stays a clean findings
+	// stream (text) or a parseable document (json, sarif).
 	if stats {
-		fmt.Fprintf(os.Stderr, "hvaclint: analyzer findings:\n")
+		fmt.Fprintf(stderr, "hvaclint: analyzer findings:\n")
 		for i, a := range analyzers {
 			elapsed := time.Duration(0)
 			if i < len(timings) {
 				elapsed = timings[i].Elapsed
 			}
-			fmt.Fprintf(os.Stderr, "  %-16s %-6d %8.1fms\n", a.Name, perRule[a.Name],
+			fmt.Fprintf(stderr, "  %-16s %-6d %8.1fms\n", a.Name, perRule[a.Name],
 				float64(elapsed.Microseconds())/1000)
 		}
 		if perRule["suppress"] > 0 {
-			fmt.Fprintf(os.Stderr, "  %-16s %d\n", "suppress", perRule["suppress"])
+			fmt.Fprintf(stderr, "  %-16s %d\n", "suppress", perRule["suppress"])
 		}
 	}
-	if findings > 0 {
-		if format != "json" {
-			fmt.Printf("hvaclint: %d finding(s)\n", findings)
-		}
-		os.Exit(1)
+	if findings > 0 && format == "text" {
+		fmt.Fprintf(stdout, "hvaclint: %d finding(s)\n", findings)
 	}
-	return nil
+	return findings, nil
+}
+
+// sarifLog renders the diagnostics as a minimal SARIF 2.1.0 document:
+// one run, one driver, rule metadata from the suite, one result per
+// finding. Suppressed findings carry an inSource suppression object,
+// which code-scanning UIs hide by default.
+func sarifLog(analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) map[string]any {
+	rules := make([]map[string]any, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, map[string]any{
+			"id":               a.Name,
+			"shortDescription": map[string]any{"text": a.Doc},
+		})
+	}
+	results := make([]map[string]any, 0, len(diags))
+	for _, d := range diags {
+		res := map[string]any{
+			"ruleId":  d.Rule,
+			"level":   "warning",
+			"message": map[string]any{"text": d.Message},
+			"locations": []map[string]any{{
+				"physicalLocation": map[string]any{
+					"artifactLocation": map[string]any{"uri": filepath.ToSlash(d.Pos.Filename)},
+					"region": map[string]any{
+						"startLine":   d.Pos.Line,
+						"startColumn": d.Pos.Column,
+					},
+				},
+			}},
+		}
+		if d.Suppressed {
+			res["suppressions"] = []map[string]any{{"kind": "inSource"}}
+		}
+		results = append(results, res)
+	}
+	return map[string]any{
+		"version": "2.1.0",
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":  "hvaclint",
+					"rules": rules,
+				},
+			},
+			"results": results,
+		}},
+	}
 }
 
 // moduleRoot walks up from the working directory to the go.mod.

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hvac/internal/analysis"
+)
+
+// TestSuiteHasTwelveAnalyzers pins the suite size: adding or removing
+// an analyzer must be a conscious change here, in -list, and in the
+// docs.
+func TestSuiteHasTwelveAnalyzers(t *testing.T) {
+	if got := len(analysis.Analyzers()); got != 12 {
+		t.Fatalf("suite has %d analyzers, want 12", got)
+	}
+}
+
+// TestRulesSubsetsNameNewAnalyzers exercises the -rules resolution
+// path for the value-flow analyzers, alone and combined.
+func TestRulesSubsetsNameNewAnalyzers(t *testing.T) {
+	for _, names := range [][]string{
+		{"chanlife"},
+		{"blockguard"},
+		{"statpair"},
+		{"chanlife", "blockguard", "statpair"},
+		{"untrustedlen", "ownerpass", "chanlife"},
+	} {
+		got, err := analysis.ByName(names)
+		if err != nil {
+			t.Fatalf("ByName(%v): %v", names, err)
+		}
+		if len(got) != len(names) {
+			t.Fatalf("ByName(%v) resolved %d analyzers", names, len(got))
+		}
+	}
+	if _, err := analysis.ByName([]string{"chanlift"}); err == nil {
+		t.Fatal("ByName accepted an unknown rule name")
+	}
+}
+
+// TestJSONStatsRoundTrip runs the driver with -format json -stats
+// wired to separate buffers: stdout must round-trip through
+// json.Unmarshal (stats never leak into it) and stats must land on
+// stderr.
+func TestJSONStatsRoundTrip(t *testing.T) {
+	analyzers, err := analysis.ByName([]string{"chanlife", "blockguard", "statpair"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	findings, err := run([]string{"../../internal/transport"}, analyzers, "json", true, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 0 {
+		t.Fatalf("transport package has %d findings; the module must stay lint-clean", findings)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &parsed); err != nil {
+		t.Fatalf("stdout does not round-trip through json.Unmarshal: %v\nstdout:\n%s", err, stdout.String())
+	}
+	for _, want := range []string{"hvaclint: analyzer findings:", "chanlife", "blockguard", "statpair"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr stats missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestSarifOutput checks the minimal SARIF 2.1.0 shape: version,
+// driver name, and rule metadata for every analyzer in the run.
+func TestSarifOutput(t *testing.T) {
+	analyzers, err := analysis.ByName([]string{"errdrop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if _, err := run([]string{"../../internal/place"}, analyzers, "sarif", false, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("sarif output does not parse: %v\n%s", err, stdout.String())
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "hvaclint" {
+		t.Fatalf("sarif driver malformed: %+v", doc.Runs)
+	}
+	if len(doc.Runs[0].Tool.Driver.Rules) != 1 || doc.Runs[0].Tool.Driver.Rules[0].ID != "errdrop" {
+		t.Errorf("sarif rules = %+v, want [errdrop]", doc.Runs[0].Tool.Driver.Rules)
+	}
+}
+
+// TestTextFindingsExitCount runs a subset over a package and checks
+// the zero-findings contract of the text path.
+func TestTextFindingsExitCount(t *testing.T) {
+	analyzers, err := analysis.ByName([]string{"statpair"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	findings, err := run([]string{"../../internal/core"}, analyzers, "text", false, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 0 {
+		t.Fatalf("statpair reports %d findings on internal/core:\n%s", findings, stdout.String())
+	}
+	if strings.Contains(stdout.String(), "finding(s)") {
+		t.Errorf("clean run printed a findings summary:\n%s", stdout.String())
+	}
+}

@@ -157,6 +157,9 @@ func Analyzers() []*Analyzer {
 		AtomicMix,
 		UntrustedLen,
 		OwnerPass,
+		ChanLife,
+		BlockGuard,
+		StatPair,
 	}
 }
 

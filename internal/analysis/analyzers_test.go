@@ -38,6 +38,21 @@ func TestOwnerPassFixtures(t *testing.T) {
 	fixtureTest(t, OwnerPass, "ownerfix", "hvac/internal/ownerfix")
 }
 
+func TestChanLifeFixtures(t *testing.T) {
+	fixtureTest(t, ChanLife, "chanfix", "hvac/internal/chanfix")
+}
+
+// The blockfix fixture stands in for internal/transport: blockguard
+// scopes its checks to the transport package plus the core
+// server/client files.
+func TestBlockGuardFixtures(t *testing.T) {
+	fixtureTest(t, BlockGuard, "blockfix", "hvac/internal/transport")
+}
+
+func TestStatPairFixtures(t *testing.T) {
+	fixtureTest(t, StatPair, "statfix", "hvac/internal/statfix")
+}
+
 // The lenfix fixture stands in for internal/transport itself: the
 // untrustedlen analyzer seeds its taint from length fields declared in a
 // package with that import path.

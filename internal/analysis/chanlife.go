@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hvac/internal/analysis/callgraph"
+	"hvac/internal/analysis/cfg"
+	"hvac/internal/analysis/valueflow"
+)
+
+// ChanLife checks channel lifecycle ownership module-wide — the bug
+// class behind PR 5's scheduleFetch panic, where Close() closed the
+// fetch queue while a concurrent sender was still pushing tasks.
+//
+// Three rules:
+//
+//   - A function must not close a channel it received as a parameter:
+//     the creator/sender side owns the close.
+//   - A close reachable after a close of the same channel value on one
+//     CFG path is a double close (panics).
+//   - A send on a channel value that some other function closes may
+//     race that close (send on a closed channel panics), unless the
+//     send sits in a select with a stop-channel receive case — the
+//     declared shutdown idiom. Within one function the same rule runs
+//     path-sensitively over the CFG.
+//
+// Channel values resolve through valueflow def-use chains, so a local
+// alias (`q := s.prefetchQ; ... q <- task`) is tracked back to the
+// fields it may name.
+var ChanLife = &Analyzer{
+	Name:      "chanlife",
+	Doc:       "channel lifecycle: close ownership, double close, sends racing a close",
+	RunModule: runChanLife,
+}
+
+const (
+	chanClose = iota
+	chanSend
+)
+
+// chanEvent is one close or send site inside one function.
+type chanEvent struct {
+	kind    int
+	node    *callgraph.Node
+	pos     token.Pos
+	origins []*types.Var
+	guarded bool // send inside a stop-guard select
+	fnLabel string
+}
+
+type chanLife struct {
+	pass        *ModulePass
+	closes      map[*types.Var][]*chanEvent
+	sends       map[*types.Var][]*chanEvent
+	originOrder []*types.Var
+	reported    map[token.Pos]bool
+}
+
+func runChanLife(p *ModulePass) {
+	cl := &chanLife{
+		pass:     p,
+		closes:   map[*types.Var][]*chanEvent{},
+		sends:    map[*types.Var][]*chanEvent{},
+		reported: map[token.Pos]bool{},
+	}
+	for _, n := range p.Graph.Nodes() {
+		if n.Body != nil {
+			cl.analyzeNode(n)
+		}
+	}
+	cl.crossFunction()
+}
+
+// nodeLabel is the short human name of a function for messages.
+func nodeLabel(n *callgraph.Node) string {
+	if n.Func != nil {
+		name := n.Func.Name()
+		if sig, ok := n.Func.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if _, tn := recvShortName(sig.Recv().Type()); tn != "" {
+				return tn + "." + name
+			}
+		}
+		return name
+	}
+	if i := strings.LastIndex(n.Name, "."); i >= 0 {
+		return n.Name[i+1:]
+	}
+	return n.Name
+}
+
+// recvShortName unwraps a receiver type to its named-type name.
+func recvShortName(t types.Type) (string, string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Path(), named.Obj().Name()
+	}
+	return "", ""
+}
+
+// analyzeNode collects n's close/send events, reports the
+// close-of-parameter and intra-function path rules, and aggregates
+// events for the cross-function pass.
+func (cl *chanLife) analyzeNode(n *callgraph.Node) {
+	info := n.Pkg.Info
+
+	// Quick scan: skip functions without channel closes or sends.
+	var closeCalls []*ast.CallExpr
+	var sendStmts []*ast.SendStmt
+	guardedSends := map[*ast.SendStmt]bool{}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					closeCalls = append(closeCalls, x)
+				}
+			}
+		case *ast.SendStmt:
+			sendStmts = append(sendStmts, x)
+		case *ast.SelectStmt:
+			markGuardedSends(x, guardedSends)
+		}
+		return true
+	})
+	if len(closeCalls) == 0 && len(sendStmts) == 0 {
+		return
+	}
+
+	fl := valueflow.Flow(cl.pass.Fset, n, cfg.New(n.Body))
+	params := nodeParams(n)
+
+	events := map[ast.Node]*chanEvent{} // keyed by the close call / send stmt
+	addEvent := func(kind int, m map[*types.Var][]*chanEvent, site ast.Node, target ast.Expr, guarded bool) *chanEvent {
+		ev := &chanEvent{
+			kind: kind, node: n, pos: site.Pos(), guarded: guarded,
+			fnLabel: nodeLabel(n), origins: fl.Origins(target),
+		}
+		for _, v := range ev.origins {
+			cl.originOrder = valueflow.AddSet(cl.originOrder, v)
+			m[v] = append(m[v], ev)
+		}
+		events[site] = ev
+		return ev
+	}
+
+	for _, call := range closeCalls {
+		ev := addEvent(chanClose, cl.closes, call, call.Args[0], false)
+		for _, v := range ev.origins {
+			if params[v] {
+				cl.pass.Reportf(call.Pos(),
+					"close of channel parameter %s in %s: the function does not own it; only the creator/sender side should close",
+					v.Name(), ev.fnLabel)
+			}
+		}
+	}
+	for _, s := range sendStmts {
+		addEvent(chanSend, cl.sends, s, s.Chan, guardedSends[s])
+	}
+
+	cl.pathCheck(n, events)
+}
+
+// markGuardedSends records the send clauses of a select that also has
+// a receive case — the stop-guard shutdown idiom. A bare default does
+// not guard: it skips a full buffer, not a closed channel.
+func markGuardedSends(sel *ast.SelectStmt, guarded map[*ast.SendStmt]bool) {
+	var sends []*ast.SendStmt
+	hasReceive := false
+	for _, cs := range sel.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			sends = append(sends, comm)
+		case *ast.ExprStmt:
+			if isReceiveExpr(comm.X) {
+				hasReceive = true
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if isReceiveExpr(r) {
+					hasReceive = true
+				}
+			}
+		}
+	}
+	if hasReceive {
+		for _, s := range sends {
+			guarded[s] = true
+		}
+	}
+}
+
+func isReceiveExpr(e ast.Expr) bool {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	return ok && u.Op == token.ARROW
+}
+
+// nodeParams returns the channel-typed parameters of n.
+func nodeParams(n *callgraph.Node) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	var sig *types.Signature
+	if n.Func != nil {
+		sig = n.Func.Type().(*types.Signature)
+	} else if n.Lit != nil {
+		sig, _ = n.Pkg.Info.TypeOf(n.Lit).(*types.Signature)
+	}
+	if sig == nil {
+		return out
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, ok := p.Type().Underlying().(*types.Chan); ok {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// pathCheck runs the intra-function state machine over the CFG: a
+// channel origin that may be closed on the current path makes a later
+// close a double close and a later send a send-on-closed.
+func (cl *chanLife) pathCheck(n *callgraph.Node, events map[ast.Node]*chanEvent) {
+	g := cfg.New(n.Body)
+	info := n.Pkg.Info
+	type fact = map[*types.Var]bool // origin -> may be closed on this path
+
+	// apply replays one block node against the fact; when report is
+	// set, path violations are diagnosed as they are encountered.
+	apply := func(node ast.Node, f fact, report bool) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			// A reassignment reopens the value for this path.
+			if as, ok := x.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					switch l := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						if v, ok := info.Defs[l].(*types.Var); ok {
+							delete(f, v)
+						} else if v, ok := info.Uses[l].(*types.Var); ok {
+							delete(f, v)
+						}
+					case *ast.SelectorExpr:
+						if v, ok := info.Uses[l.Sel].(*types.Var); ok && v.IsField() {
+							delete(f, v)
+						}
+					}
+				}
+			}
+			ev, ok := events[x]
+			if !ok {
+				return true
+			}
+			for _, v := range ev.origins {
+				closed := f[v]
+				switch {
+				case ev.kind == chanClose && closed && report && !cl.reported[ev.pos]:
+					cl.reported[ev.pos] = true
+					cl.pass.Reportf(ev.pos,
+						"%s may already be closed on this path: double close panics", v.Name())
+				case ev.kind == chanSend && closed && !ev.guarded && report && !cl.reported[ev.pos]:
+					cl.reported[ev.pos] = true
+					cl.pass.Reportf(ev.pos,
+						"send on %s is reachable after its close in %s: send on a closed channel panics", v.Name(), ev.fnLabel)
+				}
+				if ev.kind == chanClose {
+					f[v] = true
+				}
+			}
+			return true
+		})
+	}
+
+	fw := &cfg.Forward[fact]{
+		Graph: g,
+		Entry: fact{},
+		Transfer: func(b *cfg.Block, in fact) fact { // facts only; reporting happens in the replay
+			for _, node := range b.Nodes {
+				apply(node, in, false)
+			}
+			return in
+		},
+		Join: func(a, b fact) fact {
+			for v := range b {
+				a[v] = true
+			}
+			return a
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for v := range a {
+				if !b[v] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(f fact) fact {
+			out := make(fact, len(f))
+			for v := range f {
+				out[v] = true
+			}
+			return out
+		},
+	}
+	ins := fw.Fixpoint()
+	for _, blk := range g.Blocks {
+		if blk.Index >= len(ins) || ins[blk.Index] == nil {
+			continue
+		}
+		cur := fw.Clone(ins[blk.Index])
+		for _, node := range blk.Nodes {
+			apply(node, cur, true)
+		}
+	}
+}
+
+// crossFunction reports sends that may race a close performed by a
+// different function. Ordering follows origin discovery order, which
+// follows Graph.Nodes() order — deterministic.
+func (cl *chanLife) crossFunction() {
+	for _, v := range cl.originOrder {
+		closes, sends := cl.closes[v], cl.sends[v]
+		if len(closes) == 0 || len(sends) == 0 {
+			continue
+		}
+		for _, send := range sends {
+			if send.guarded || cl.reported[send.pos] {
+				continue
+			}
+			var otherFn string
+			for _, c := range closes {
+				if c.node != send.node {
+					otherFn = c.fnLabel
+					break
+				}
+			}
+			if otherFn == "" {
+				continue // same-function ordering was already path-checked
+			}
+			cl.reported[send.pos] = true
+			cl.pass.Reportf(send.pos,
+				"send on %s may race close(%s) in %s: guard the send with a stop-channel select or leave the channel open for the collector",
+				v.Name(), v.Name(), otherFn)
+		}
+	}
+}

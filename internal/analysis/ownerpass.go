@@ -45,6 +45,7 @@ import (
 
 	"hvac/internal/analysis/callgraph"
 	"hvac/internal/analysis/cfg"
+	"hvac/internal/analysis/valueflow"
 )
 
 // OwnerPass reports resource-protocol violations: leaked, double-
@@ -371,7 +372,8 @@ func (op *ownerPass) summaryFor(fn *types.Func) *fnSummary {
 // summaryFixpoint infers owns/some for every declared function with
 // resource-typed parameters, iterating so wrapper chains (A releases
 // by calling B, which releases) converge. The owns/some sets only
-// grow, so a handful of rounds suffices.
+// grow, so the valueflow round driver converges in a handful of
+// rounds.
 func (op *ownerPass) summaryFixpoint() {
 	var cands []*callgraph.Node
 	for _, n := range op.pass.Graph.Nodes() {
@@ -386,7 +388,7 @@ func (op *ownerPass) summaryFixpoint() {
 			}
 		}
 	}
-	for round := 0; round < 8; round++ {
+	valueflow.Fixpoint(8, func() bool {
 		changed := false
 		for _, n := range cands {
 			res := op.analyzeFunc(n, false)
@@ -404,10 +406,8 @@ func (op *ownerPass) summaryFixpoint() {
 				}
 			}
 		}
-		if !changed {
-			break
-		}
-	}
+		return changed
+	})
 }
 
 // paramResKind classifies a parameter type as a trackable resource.

@@ -1,0 +1,667 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hvac/internal/analysis/callgraph"
+	"hvac/internal/analysis/cfg"
+)
+
+// StatPair enforces the counter-accounting identities the chaos tier
+// checks dynamically (Hits+ReadThroughs == served, one open outcome
+// per call), declared in source via //hvac:pair comments on stats
+// struct fields:
+//
+//	//hvac:pair <group> left|right   — sum-equality: every CFG path
+//	    must bump the left and right sides of <group> by equal
+//	    amounts before returning.
+//	//hvac:pair <group> oneof        — exclusivity: no CFG path may
+//	    bump two different members of <group>.
+//
+// Fields of sync/atomic integer mirrors (the live-counter struct
+// behind a snapshot) join a group automatically when their name
+// matches a declared member case-insensitively, so `s.stats.opens`
+// counts as ServerStats.Opens.
+//
+// Bumps are recognized as field++ / field += e / field.Add(e),
+// including inside function literals passed to a call on the current
+// path (the client's c.bump(func(s *ClientStats){...}) idiom). A
+// function whose one-sided bump is deliberate carries a doc line
+//
+//	//hvac:pair-split <group> <reason>
+//
+// which exempts exactly that group in that function.
+var StatPair = &Analyzer{
+	Name:      "statpair",
+	Doc:       "declared //hvac:pair counter identities hold on every CFG path",
+	RunModule: runStatPair,
+}
+
+const (
+	pairMarker      = "//hvac:pair "
+	pairSplitMarker = "//hvac:pair-split"
+)
+
+// pairGroup is one declared identity.
+type pairGroup struct {
+	name  string
+	oneof bool
+	pos   token.Pos
+	// members lists declared and mirror fields in declaration order.
+	members []*types.Var
+	roles   map[*types.Var]string // left | right | oneof
+}
+
+type statPair struct {
+	pass     *ModulePass
+	groups   map[string]*pairGroup
+	order    []string
+	memberOf map[*types.Var]*pairGroup
+	// split maps function -> groups its doc exempts.
+	split map[*types.Func]map[string]bool
+}
+
+func runStatPair(p *ModulePass) {
+	sp := &statPair{
+		pass:     p,
+		groups:   map[string]*pairGroup{},
+		memberOf: map[*types.Var]*pairGroup{},
+		split:    map[*types.Func]map[string]bool{},
+	}
+	sp.collectGroups()
+	if len(sp.groups) == 0 {
+		return
+	}
+	sp.collectMirrors()
+	sp.collectSplits()
+	sp.validateGroups()
+	for _, n := range p.Graph.Nodes() {
+		// Function literals are analyzed inline at their call sites: the
+		// bump(func(s *Stats){...}) idiom attributes the literal's bumps
+		// to the calling path.
+		if n.Body == nil || n.Func == nil {
+			continue
+		}
+		sp.checkFunc(n)
+	}
+}
+
+// collectGroups parses //hvac:pair field annotations.
+func (sp *statPair) collectGroups() {
+	for _, pkg := range sp.pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				st, ok := x.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						if cg == nil {
+							continue
+						}
+						for _, c := range cg.List {
+							if strings.HasPrefix(c.Text, pairMarker) {
+								sp.addMember(pkg, field, c)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (sp *statPair) addMember(pkg *Package, field *ast.Field, c *ast.Comment) {
+	parts := strings.Fields(strings.TrimPrefix(c.Text, pairMarker))
+	if len(parts) != 2 || (parts[1] != "left" && parts[1] != "right" && parts[1] != "oneof") {
+		sp.pass.Reportf(c.Pos(), "malformed pair annotation: want //hvac:pair <group> left|right|oneof")
+		return
+	}
+	group, role := parts[0], parts[1]
+	g := sp.groups[group]
+	if g == nil {
+		g = &pairGroup{name: group, roles: map[*types.Var]string{}, pos: c.Pos(), oneof: role == "oneof"}
+		sp.groups[group] = g
+		sp.order = append(sp.order, group)
+	}
+	for _, name := range field.Names {
+		v, ok := pkg.Info.Defs[name].(*types.Var)
+		if !ok {
+			continue
+		}
+		g.members = append(g.members, v)
+		g.roles[v] = role
+		sp.memberOf[v] = g
+	}
+}
+
+// collectMirrors joins sync/atomic integer fields whose names match a
+// declared member case-insensitively — the live-counter struct behind
+// a stats snapshot.
+func (sp *statPair) collectMirrors() {
+	want := map[string]*types.Var{} // lowercase member name -> declared member
+	for _, gname := range sp.order {
+		for _, m := range sp.groups[gname].members {
+			want[strings.ToLower(m.Name())] = m
+		}
+	}
+	for _, pkg := range sp.pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if sp.memberOf[f] != nil || !isAtomicInt(f.Type()) {
+					continue
+				}
+				decl, ok := want[strings.ToLower(f.Name())]
+				if !ok || decl.Pkg() != f.Pkg() {
+					continue
+				}
+				g := sp.memberOf[decl]
+				g.members = append(g.members, f)
+				g.roles[f] = g.roles[decl]
+				sp.memberOf[f] = g
+			}
+		}
+	}
+}
+
+// isAtomicInt reports whether t is a sync/atomic integer counter.
+func isAtomicInt(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Int32", "Int64", "Uint32", "Uint64":
+		return true
+	}
+	return false
+}
+
+// collectSplits parses //hvac:pair-split function doc exemptions.
+func (sp *statPair) collectSplits() {
+	for _, pkg := range sp.pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				for _, c := range fd.Doc.List {
+					if !strings.HasPrefix(c.Text, pairSplitMarker) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, pairSplitMarker))
+					group, reason, _ := strings.Cut(rest, " ")
+					if group == "" || strings.TrimSpace(reason) == "" {
+						sp.pass.Reportf(c.Pos(), "malformed pair-split annotation: want //hvac:pair-split <group> <reason>")
+						continue
+					}
+					if sp.groups[group] == nil {
+						sp.pass.Reportf(c.Pos(), "pair-split names unknown group %q", group)
+						continue
+					}
+					if fn != nil {
+						if sp.split[fn] == nil {
+							sp.split[fn] = map[string]bool{}
+						}
+						sp.split[fn][group] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// validateGroups reports structurally broken groups and prunes them.
+func (sp *statPair) validateGroups() {
+	valid := sp.order[:0]
+	for _, name := range sp.order {
+		g := sp.groups[name]
+		var left, right, oneof int
+		for _, m := range g.members {
+			switch g.roles[m] {
+			case "left":
+				left++
+			case "right":
+				right++
+			case "oneof":
+				oneof++
+			}
+		}
+		switch {
+		case oneof > 0 && (left > 0 || right > 0):
+			sp.pass.Reportf(g.pos, "pair group %q mixes oneof with left/right roles", name)
+			delete(sp.groups, name)
+		case oneof == 0 && (left == 0 || right == 0):
+			sp.pass.Reportf(g.pos, "pair group %q needs at least one left and one right member", name)
+			delete(sp.groups, name)
+		default:
+			valid = append(valid, name)
+			continue
+		}
+		for v, g2 := range sp.memberOf {
+			if g2.name == name {
+				delete(sp.memberOf, v)
+			}
+		}
+	}
+	sp.order = valid
+}
+
+// pairDelta is one path's left-minus-right balance for one group: a
+// constant part plus symbolic bump amounts by expression text.
+type pairDelta struct {
+	c   int64
+	sym map[string]int64
+}
+
+func (d pairDelta) add(sign int64, c int64, sym string) pairDelta {
+	out := pairDelta{c: d.c, sym: map[string]int64{}}
+	for k, v := range d.sym {
+		out.sym[k] = v
+	}
+	if sym == "" {
+		out.c += sign * c
+	} else {
+		out.sym[sym] += sign * c
+		if out.sym[sym] == 0 {
+			delete(out.sym, sym)
+		}
+	}
+	return out
+}
+
+func (d pairDelta) zero() bool { return d.c == 0 && len(d.sym) == 0 }
+
+func (d pairDelta) String() string {
+	var parts []string
+	if d.c != 0 {
+		parts = append(parts, fmt.Sprintf("%+d", d.c))
+	}
+	keys := make([]string, 0, len(d.sym))
+	for k := range d.sym {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%+d*(%s)", d.sym[k], k))
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " ")
+}
+
+func (d pairDelta) key() string { return d.String() }
+
+// groupFact is the per-path state of one group: the set of possible
+// balances (equality groups) or the members already bumped (oneof).
+type groupFact struct {
+	nets    map[string]pairDelta
+	members []*types.Var
+	poison  bool
+}
+
+// maxNets caps the balance set; an overflowing set (an unbalanced
+// loop) poisons the fact, which reports at the exits.
+const maxNets = 8
+
+// bump is one recognized counter increment.
+type statBump struct {
+	member *types.Var
+	sign   int64 // +1 for ++, Add(e), += e; -1 for --, -= e
+	c      int64
+	sym    string
+	pos    token.Pos
+}
+
+// checkFunc runs the per-path identity check over one declared
+// function.
+func (sp *statPair) checkFunc(n *callgraph.Node) {
+	// Index the bumps each CFG block node contains (inlining function
+	// literals passed as call arguments on the path).
+	bumpsAt := map[ast.Node][]statBump{}
+	found := false
+	var scanLit func(node ast.Node) []statBump
+	scanLit = func(node ast.Node) []statBump {
+		var out []statBump
+		ast.Inspect(node, func(x ast.Node) bool {
+			if b, ok := sp.bumpOf(n, x); ok {
+				out = append(out, b)
+			}
+			return true
+		})
+		return out
+	}
+	scanNode := func(node ast.Node) []statBump {
+		var out []statBump
+		ast.Inspect(node, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				// A literal argument runs (at most once) when the call
+				// runs: attribute its bumps to this path.
+				out = append(out, scanLit(lit.Body)...)
+				return false
+			}
+			if b, ok := sp.bumpOf(n, x); ok {
+				out = append(out, b)
+			}
+			return true
+		})
+		return out
+	}
+
+	g := cfg.New(n.Body)
+	for _, blk := range g.Blocks {
+		for _, node := range blk.Nodes {
+			if _, done := bumpsAt[node]; done {
+				continue
+			}
+			bs := scanNode(node)
+			bumpsAt[node] = bs
+			if len(bs) > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		return
+	}
+
+	skip := sp.split[n.Func]
+	type fact = map[string]*groupFact
+	getGF := func(f fact, name string) *groupFact {
+		gf := f[name]
+		if gf == nil {
+			gf = &groupFact{nets: map[string]pairDelta{"0": {}}}
+			f[name] = gf
+		}
+		return gf
+	}
+	apply := func(f fact, b statBump, report bool) {
+		grp := sp.memberOf[b.member]
+		if grp == nil || skip[grp.name] {
+			return
+		}
+		gf := getGF(f, grp.name)
+		if grp.oneof {
+			if report {
+				for _, m := range gf.members {
+					if m != b.member && declaredPeer(grp, m) != declaredPeer(grp, b.member) {
+						sp.pass.Reportf(b.pos,
+							"path already counted %s of oneof group %q; one call must count one outcome (or annotate //hvac:pair-split %s <reason>)",
+							m.Name(), grp.name, grp.name)
+						break
+					}
+				}
+			}
+			found := false
+			for _, m := range gf.members {
+				if m == b.member {
+					found = true
+				}
+			}
+			if !found {
+				gf.members = append(gf.members, b.member)
+			}
+			return
+		}
+		sign := b.sign
+		if grp.roles[b.member] == "right" {
+			sign = -sign
+		}
+		next := map[string]pairDelta{}
+		for _, d := range gf.nets {
+			nd := d.add(sign, b.c, b.sym)
+			next[nd.key()] = nd
+		}
+		gf.nets = next
+		if len(gf.nets) > maxNets {
+			gf.poison = true
+		}
+	}
+
+	fw := &cfg.Forward[fact]{
+		Graph: g,
+		Entry: fact{},
+		Transfer: func(b *cfg.Block, in fact) fact {
+			for _, node := range b.Nodes {
+				for _, bump := range bumpsAt[node] {
+					apply(in, bump, false)
+				}
+			}
+			return in
+		},
+		Join:  joinPairFacts,
+		Equal: equalPairFacts,
+		Clone: clonePairFacts,
+	}
+	ins := fw.Fixpoint()
+
+	// Replay for oneof reporting and collect exit balances.
+	for _, blk := range g.Blocks {
+		if blk.Index >= len(ins) || ins[blk.Index] == nil {
+			continue
+		}
+		cur := clonePairFacts(ins[blk.Index])
+		for _, node := range blk.Nodes {
+			for _, bump := range bumpsAt[node] {
+				apply(cur, bump, true)
+			}
+		}
+		exits := false
+		for _, succ := range blk.Succs {
+			if succ == g.Exit {
+				exits = true
+			}
+		}
+		if !exits || isPanicExit(blk) {
+			continue
+		}
+		pos := n.Pos
+		if blk.Term != nil {
+			pos = blk.Term.Pos()
+		}
+		for _, name := range sp.order {
+			gf := cur[name]
+			if gf == nil || sp.groups[name] == nil || sp.groups[name].oneof || skip[name] {
+				continue
+			}
+			if gf.poison {
+				sp.pass.Reportf(pos,
+					"a loop on this path bumps pair group %q unevenly: balance the counters per iteration or annotate //hvac:pair-split %s <reason>",
+					name, name)
+				continue
+			}
+			nets := make([]string, 0, len(gf.nets))
+			for _, d := range gf.nets {
+				if !d.zero() {
+					nets = append(nets, d.String())
+				}
+			}
+			if len(nets) == 0 {
+				continue
+			}
+			sort.Strings(nets)
+			sp.pass.Reportf(pos,
+				"path exits with pair group %q unbalanced (left-right = %s): bump the balancing side or annotate //hvac:pair-split %s <reason>",
+				name, strings.Join(nets, " | "), name)
+		}
+	}
+}
+
+// declaredPeer maps a mirror member back to its declared field, so a
+// declared counter and its atomic mirror never conflict with each
+// other in a oneof group.
+func declaredPeer(g *pairGroup, m *types.Var) string { return strings.ToLower(m.Name()) }
+
+// isPanicExit reports whether the block leaves the function by
+// panicking — crash paths do not owe balanced counters.
+func isPanicExit(blk *cfg.Block) bool {
+	call, ok := blk.Term.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// bumpOf recognizes one counter increment statement or call.
+func (sp *statPair) bumpOf(n *callgraph.Node, x ast.Node) (statBump, bool) {
+	info := n.Pkg.Info
+	switch x := x.(type) {
+	case *ast.IncDecStmt:
+		if v := selectedField(info, x.X); v != nil && sp.memberOf[v] != nil {
+			sign := int64(1)
+			if x.Tok == token.DEC {
+				sign = -1
+			}
+			return statBump{member: v, sign: sign, c: 1, pos: x.Pos()}, true
+		}
+	case *ast.AssignStmt:
+		if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+			break
+		}
+		var sign int64
+		switch x.Tok {
+		case token.ADD_ASSIGN:
+			sign = 1
+		case token.SUB_ASSIGN:
+			sign = -1
+		default:
+			return statBump{}, false
+		}
+		if v := selectedField(info, x.Lhs[0]); v != nil && sp.memberOf[v] != nil {
+			c, sym := amountOf(info, x.Rhs[0])
+			return statBump{member: v, sign: sign, c: c, sym: sym, pos: x.Pos()}, true
+		}
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" || len(x.Args) != 1 {
+			break
+		}
+		if v := selectedField(info, sel.X); v != nil && sp.memberOf[v] != nil {
+			c, sym := amountOf(info, x.Args[0])
+			return statBump{member: v, sign: 1, c: c, sym: sym, pos: x.Pos()}, true
+		}
+	}
+	return statBump{}, false
+}
+
+// selectedField resolves expr to the struct field it selects, or nil.
+func selectedField(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// amountOf evaluates a bump amount: a constant int when the type
+// checker knows one, otherwise the expression text as a symbolic unit
+// (so `+= int64(n)` on both sides cancels).
+func amountOf(info *types.Info, e ast.Expr) (int64, string) {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return c, ""
+		}
+	}
+	return 1, types.ExprString(ast.Unparen(e))
+}
+
+func joinPairFacts(a, b map[string]*groupFact) map[string]*groupFact {
+	for name, gb := range b {
+		ga := a[name]
+		if ga == nil {
+			a[name] = cloneGroupFact(gb)
+			continue
+		}
+		for k, d := range gb.nets {
+			ga.nets[k] = d
+		}
+		if len(ga.nets) > maxNets {
+			ga.poison = true
+		}
+		for _, m := range gb.members {
+			found := false
+			for _, ma := range ga.members {
+				if ma == m {
+					found = true
+				}
+			}
+			if !found {
+				ga.members = append(ga.members, m)
+			}
+		}
+		ga.poison = ga.poison || gb.poison
+	}
+	return a
+}
+
+func equalPairFacts(a, b map[string]*groupFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, ga := range a {
+		gb := b[name]
+		if gb == nil || ga.poison != gb.poison || len(ga.nets) != len(gb.nets) || len(ga.members) != len(gb.members) {
+			return false
+		}
+		for k := range ga.nets {
+			if _, ok := gb.nets[k]; !ok {
+				return false
+			}
+		}
+		for _, m := range ga.members {
+			found := false
+			for _, mb := range gb.members {
+				if mb == m {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func clonePairFacts(f map[string]*groupFact) map[string]*groupFact {
+	out := make(map[string]*groupFact, len(f))
+	for name, gf := range f {
+		out[name] = cloneGroupFact(gf)
+	}
+	return out
+}
+
+func cloneGroupFact(gf *groupFact) *groupFact {
+	ng := &groupFact{nets: make(map[string]pairDelta, len(gf.nets)), poison: gf.poison}
+	for k, d := range gf.nets {
+		ng.nets[k] = d
+	}
+	ng.members = append(ng.members, gf.members...)
+	return ng
+}

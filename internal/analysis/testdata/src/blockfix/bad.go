@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"net"
+	"time"
+)
+
+type frame struct{ n int }
+
+// acceptLoop hands fresh conns to a handler without any deadline set:
+// the handler's conn is a parameter, so the obligation lands on this
+// call site, not inside serveConn.
+func acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(conn) // want "blocking call to serveConn passing conn conn has no deadline"
+	}
+}
+
+// serveConn's conn is a parameter: its Read is the caller's
+// obligation, so no finding here — the bug is reported in acceptLoop.
+func serveConn(conn net.Conn) {
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// dialAndRead reads a conn it made itself with no deadline anywhere.
+func dialAndRead(addr string) ([]byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	buf := make([]byte, 32)
+	_, err = conn.Read(buf) // want "blocking conn.Read has no deadline on some path"
+	return buf, err
+}
+
+// halfGuarded sets a deadline on only one branch; the write below the
+// merge is unguarded on the other path.
+func halfGuarded(mk func() net.Conn, fast bool, d time.Duration) {
+	conn := mk()
+	if fast {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	conn.Write([]byte("ping")) // want "blocking conn.Write has no deadline on some path"
+}
+
+// waitAck blocks on a bare receive with no stop or timeout case.
+func waitAck(ch chan frame) frame {
+	return <-ch // want "blocking receive from ch has no alternative"
+}
+
+// singleSelect is a bare receive in disguise: one case and no default
+// blocks exactly like <-ch.
+func singleSelect(ch chan frame) {
+	select {
+	case <-ch: // want "blocking receive from ch has no alternative"
+	}
+}
+
+// drain ranges over a channel nothing is obliged to close.
+func drain(ch chan frame) {
+	for range ch { // want "range over ch blocks until the channel closes"
+	}
+}

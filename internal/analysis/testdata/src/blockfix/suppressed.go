@@ -1,0 +1,15 @@
+package transport
+
+// legacyWait predates the stop-channel plumbing; the suppression
+// documents the external guarantee the analyzer cannot see.
+func legacyWait(ch chan frame) frame {
+	//hvaclint:ignore blockguard the dispatcher tears this goroutine down with the process
+	return <-ch
+}
+
+// wrongRuleWait shows suppressions are per-rule: naming a different
+// analyzer does not silence blockguard.
+func wrongRuleWait(ch chan frame) frame {
+	//hvaclint:ignore goroleak wrong rule on purpose
+	return <-ch // want "blocking receive from ch has no alternative"
+}

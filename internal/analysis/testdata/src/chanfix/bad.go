@@ -1,0 +1,70 @@
+package chanfix
+
+type task struct{ n int }
+
+// badServer reproduces the PR-5 teardown bug shape byte for byte:
+// Close closes the fetch queue while scheduleFetch can still send into
+// it from another goroutine — the send panics when it loses the race.
+type badServer struct {
+	fetchQ chan task
+	stop   chan struct{}
+}
+
+func (s *badServer) Close() {
+	close(s.stop)
+	close(s.fetchQ)
+}
+
+func (s *badServer) scheduleFetch(t task) {
+	s.fetchQ <- t // want "send on fetchQ may race close\(fetchQ\) in badServer.Close"
+}
+
+// dualServer sends through a local alias that may name either queue;
+// the def-use chains must resolve the alias back to the closed field.
+type dualServer struct {
+	demandQ   chan task
+	prefetchQ chan task
+}
+
+func (s *dualServer) Close() {
+	close(s.demandQ)
+}
+
+func (s *dualServer) schedule(t task, demand bool) {
+	q := s.prefetchQ
+	if demand {
+		q = s.demandQ
+	}
+	q <- t // want "send on demandQ may race close\(demandQ\) in dualServer.Close"
+}
+
+// doubleClose closes the same channel twice on one path.
+func doubleClose(mk func() chan int) {
+	ch := mk()
+	close(ch)
+	close(ch) // want "ch may already be closed on this path"
+}
+
+// sendAfterClose sends after closing on the same path.
+func sendAfterClose(mk func() chan int) {
+	ch := mk()
+	close(ch)
+	ch <- 1 // want "send on ch is reachable after its close"
+}
+
+// branchClose closes on one branch only; the send after the merge is
+// still reachable after the close.
+func branchClose(mk func() chan int, done bool) {
+	ch := mk()
+	if done {
+		close(ch)
+	}
+	ch <- 2 // want "send on ch is reachable after its close"
+}
+
+// drainAndClose closes a channel it does not own.
+func drainAndClose(ch chan int) {
+	for range ch {
+	}
+	close(ch) // want "close of channel parameter ch"
+}

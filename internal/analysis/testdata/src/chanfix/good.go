@@ -1,0 +1,73 @@
+package chanfix
+
+// goodServer is the PR-5 fix shape: the queues are never closed —
+// shutdown closes the stop channel, senders check a closed flag and
+// fall through on a full buffer, and Close drains what was queued.
+type goodServer struct {
+	fetchQ chan task
+	stop   chan struct{}
+	closed bool
+}
+
+func (s *goodServer) Close() {
+	s.closed = true
+	close(s.stop)
+	for {
+		select {
+		case <-s.fetchQ:
+		default:
+			return
+		}
+	}
+}
+
+func (s *goodServer) scheduleFetch(t task) {
+	if s.closed {
+		return
+	}
+	select {
+	case s.fetchQ <- t:
+	default: // queue full: drop, never block
+	}
+}
+
+// stopGuarded closes its queue, but every send sits in a select with a
+// stop-channel receive case — the declared shutdown idiom chanlife
+// accepts.
+type stopGuarded struct {
+	q    chan int
+	stop chan struct{}
+}
+
+func (s *stopGuarded) Close() {
+	close(s.stop)
+	close(s.q)
+}
+
+func (s *stopGuarded) send(v int) {
+	select {
+	case s.q <- v:
+	case <-s.stop:
+	}
+}
+
+// producer owns its channel and follows the sender-closes protocol:
+// every send happens-before the close on the one path through.
+func producer(vals []int) chan int {
+	ch := make(chan int, len(vals))
+	for _, v := range vals {
+		ch <- v
+	}
+	close(ch)
+	return ch
+}
+
+// reopened is reassigned between the close and the send: a fresh
+// channel value, not a double use.
+func reopened(mk func() chan int) {
+	ch := mk()
+	close(ch)
+	ch = mk()
+	ch <- 1
+	close(ch)
+}

@@ -1,0 +1,32 @@
+package chanfix
+
+// legacyQueue predates the stop-channel teardown; its Close only runs
+// after the single producer goroutine has exited, which the analyzer
+// cannot see. The pragma documents that external ordering.
+type legacyQueue struct {
+	q chan int
+}
+
+func (s *legacyQueue) Close() {
+	close(s.q)
+}
+
+func (s *legacyQueue) push(v int) {
+	//hvaclint:ignore chanlife Close is sequenced after the producer exits; no send can race it
+	s.q <- v
+}
+
+// wrongRule shows the suppression is per-rule: naming a different
+// analyzer does not silence chanlife.
+type wrongRuleQueue struct {
+	q chan int
+}
+
+func (s *wrongRuleQueue) Close() {
+	close(s.q)
+}
+
+func (s *wrongRuleQueue) push(v int) {
+	//hvaclint:ignore goroleak wrong rule on purpose
+	s.q <- v // want "send on q may race close\(q\) in wrongRuleQueue.Close"
+}

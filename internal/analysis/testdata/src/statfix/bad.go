@@ -1,0 +1,87 @@
+package statfix
+
+import "sync/atomic"
+
+// ServerStats declares the served identity the chaos tier asserts
+// dynamically: Hits+ReadThroughs must equal Opens+BatchEntries.
+type ServerStats struct {
+	//hvac:pair served left
+	Hits int64
+	//hvac:pair served left
+	ReadThroughs int64
+	//hvac:pair served right
+	Opens int64
+	//hvac:pair served right
+	BatchEntries int64
+	// Misses carries no identity and may move alone.
+	Misses int64
+}
+
+// ClientStats declares open-outcome exclusivity: one call counts
+// exactly one outcome.
+type ClientStats struct {
+	//hvac:pair outcome oneof
+	Passthrough int64
+	//hvac:pair outcome oneof
+	Redirected int64
+	//hvac:pair outcome oneof
+	Fallbacks int64
+}
+
+// liveCounters is the atomic mirror: its fields join the groups by
+// case-insensitive name match.
+type liveCounters struct {
+	hits  atomic.Int64
+	opens atomic.Int64
+}
+
+// hitWithoutOpen bumps the left side of served and returns.
+func hitWithoutOpen(s *ServerStats) {
+	s.Hits++
+	return // want "path exits with pair group \"served\" unbalanced \(left-right = \+1\)"
+}
+
+// mirrorSkew bumps only the atomic mirror of the right side.
+func mirrorSkew(c *liveCounters) {
+	c.opens.Add(1)
+	return // want "path exits with pair group \"served\" unbalanced \(left-right = -1\)"
+}
+
+// branchSkew balances one branch but not the other: the merged exit
+// carries both balances, and the skewed one reports.
+func branchSkew(s *ServerStats, hit bool) {
+	s.Opens++
+	if hit {
+		s.Hits++
+	}
+	return // want "path exits with pair group \"served\" unbalanced \(left-right = -1\)"
+}
+
+// loopSkew bumps one side per iteration: the balance set diverges and
+// poisons the exit.
+func loopSkew(s *ServerStats, batch []int) {
+	s.Hits++
+	for range batch {
+		s.BatchEntries++
+	}
+	return // want "a loop on this path bumps pair group \"served\" unevenly"
+}
+
+// doubleOutcome counts two different outcomes for one call.
+func doubleOutcome(c *ClientStats) {
+	c.Redirected++
+	c.Fallbacks++ // want "path already counted Redirected of oneof group \"outcome\""
+}
+
+// litSkew bumps through a deferred-update literal, the client's
+// bump(func(...)) idiom: the literal's bumps attribute to this path.
+func litSkew(s *ServerStats, apply func(func(*ServerStats))) {
+	apply(func(st *ServerStats) {
+		st.ReadThroughs++
+	})
+	return // want "path exits with pair group \"served\" unbalanced \(left-right = \+1\)"
+}
+
+type malformed struct {
+	X int64 //hvac:pair served // want "malformed pair annotation"
+}

@@ -1,0 +1,18 @@
+package statfix
+
+// legacyTally predates the pair annotations; the suppression records
+// why the skew is deliberate.
+func legacyTally(s *ServerStats) {
+	s.Misses++
+	s.Hits++
+	//hvaclint:ignore statpair hits here are re-counted by the collector, which owes the open
+	return
+}
+
+// wrongRuleTally shows suppressions are per-rule: naming a different
+// analyzer does not silence statpair.
+func wrongRuleTally(s *ServerStats) {
+	s.Hits++
+	//hvaclint:ignore goroleak wrong rule on purpose
+	return // want "path exits with pair group \"served\" unbalanced \(left-right = \+1\)"
+}

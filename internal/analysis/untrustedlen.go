@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"hvac/internal/analysis/callgraph"
+	"hvac/internal/analysis/valueflow"
 )
 
 // UntrustedLen tracks dataflow from wire-decoded length fields in
@@ -17,10 +18,10 @@ import (
 // the allocation size, which is the DoS the faultnet Corrupter probes
 // dynamically; this analyzer proves the absence of the path statically.
 //
-// Taint propagates through assignments, struct fields, composite
-// literals, arithmetic, conversions, and (via the call graph) function
-// results. A comparison against a tainted value in an if condition
-// before the sink sanitizes it.
+// Propagation is the valueflow.Taint engine: assignments, struct
+// fields, composite literals, arithmetic, conversions, and (via the
+// call graph) function results. A comparison against a tainted value
+// in an if condition before the sink sanitizes it.
 var UntrustedLen = &Analyzer{
 	Name:      "untrustedlen",
 	Doc:       "wire-decoded lengths reaching make/io.ReadFull sizes without a bounds check",
@@ -29,44 +30,32 @@ var UntrustedLen = &Analyzer{
 
 const transportPathSuffix = "internal/transport"
 
-// ulState is the module-wide fixed point: which fields carry untrusted
-// lengths, which functions return them, and each function's tainted
-// locals.
-type ulState struct {
-	pass    *ModulePass
-	fields  map[*types.Var]bool      // tainted struct fields (seeded from transport)
-	returns map[*callgraph.Node]bool // functions whose result is tainted
-	locals  map[*callgraph.Node]map[*types.Var]bool
-	changed bool
+// ulSinks holds the sink-reporting state over a finished taint run.
+type ulSinks struct {
+	pass  *ModulePass
+	taint *valueflow.Taint
 }
 
 func runUntrustedLen(p *ModulePass) {
-	st := &ulState{
-		pass:    p,
-		fields:  seedTransportFields(p),
-		returns: make(map[*callgraph.Node]bool),
-		locals:  make(map[*callgraph.Node]map[*types.Var]bool),
-	}
-	if len(st.fields) == 0 {
+	seeds := seedTransportFields(p)
+	if len(seeds) == 0 {
 		return // no transport package in scope: nothing is untrusted
 	}
-	for _, n := range p.Graph.Nodes() {
-		st.locals[n] = make(map[*types.Var]bool)
+	t := &valueflow.Taint{
+		Graph: p.Graph,
+		Seeds: seeds,
+		// Raw wire decode inside the transport package is an original
+		// source. Argument propagation stays off: the sinks care about
+		// where lengths land, not every helper they pass through.
+		SourceCall: func(n *callgraph.Node, call *ast.CallExpr) bool {
+			fn := valueflow.StaticCallee(n.Pkg.Info, call)
+			return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" &&
+				strings.HasPrefix(fn.Name(), "Uint") &&
+				strings.HasSuffix(n.Pkg.Path, transportPathSuffix)
+		},
 	}
-	// Propagate until no new field, local, or return taint appears. Each
-	// round re-walks every body, so taint crosses package boundaries in
-	// whichever direction the call graph runs.
-	for {
-		st.changed = false
-		for _, n := range p.Graph.Nodes() {
-			if n.Body != nil {
-				st.propagate(n)
-			}
-		}
-		if !st.changed {
-			break
-		}
-	}
+	t.Run()
+	st := &ulSinks{pass: p, taint: t}
 	for _, n := range p.Graph.Nodes() {
 		if n.Body != nil {
 			st.reportSinks(n)
@@ -117,148 +106,6 @@ func seedTransportFields(p *ModulePass) map[*types.Var]bool {
 	return seeds
 }
 
-// propagate runs one round of taint propagation over n's body.
-func (st *ulState) propagate(n *callgraph.Node) {
-	info := n.Pkg.Info
-	local := st.locals[n]
-	ast.Inspect(n.Body, func(x ast.Node) bool {
-		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
-			return false
-		}
-		switch x := x.(type) {
-		case *ast.AssignStmt:
-			for i, lhs := range x.Lhs {
-				if i >= len(x.Rhs) {
-					break // multi-value RHS: no claim
-				}
-				if !st.tainted(n, x.Rhs[i]) {
-					continue
-				}
-				st.taintTarget(info, local, lhs)
-			}
-		case *ast.ValueSpec:
-			for i, name := range x.Names {
-				if i < len(x.Values) && st.tainted(n, x.Values[i]) {
-					if v, ok := info.Defs[name].(*types.Var); ok {
-						st.mark(local, v)
-					}
-				}
-			}
-		case *ast.CompositeLit:
-			st.taintCompositeLit(n, x)
-		case *ast.ReturnStmt:
-			for _, res := range x.Results {
-				if st.tainted(n, res) && !st.returns[n] {
-					st.returns[n] = true
-					st.changed = true
-				}
-			}
-		}
-		return true
-	})
-}
-
-// taintTarget marks an assignment target: a local variable or a struct
-// field (which taints the field module-wide).
-func (st *ulState) taintTarget(info *types.Info, local map[*types.Var]bool, lhs ast.Expr) {
-	switch e := ast.Unparen(lhs).(type) {
-	case *ast.Ident:
-		if v, ok := info.Defs[e].(*types.Var); ok {
-			st.mark(local, v)
-		} else if v, ok := info.Uses[e].(*types.Var); ok {
-			st.mark(local, v)
-		}
-	case *ast.SelectorExpr:
-		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
-			st.markField(v)
-		}
-	}
-}
-
-// taintCompositeLit taints struct fields initialized from tainted values,
-// e.g. &File{size: int64(resp.Size)}.
-func (st *ulState) taintCompositeLit(n *callgraph.Node, lit *ast.CompositeLit) {
-	info := n.Pkg.Info
-	t := info.TypeOf(lit)
-	if t == nil {
-		return
-	}
-	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	strct, ok := t.Underlying().(*types.Struct)
-	if !ok {
-		return
-	}
-	for i, elt := range lit.Elts {
-		if kv, ok := elt.(*ast.KeyValueExpr); ok {
-			key, ok := kv.Key.(*ast.Ident)
-			if !ok || !st.tainted(n, kv.Value) {
-				continue
-			}
-			if v, ok := info.Uses[key].(*types.Var); ok {
-				st.markField(v)
-			}
-		} else if i < strct.NumFields() && st.tainted(n, elt) {
-			st.markField(strct.Field(i))
-		}
-	}
-}
-
-func (st *ulState) mark(local map[*types.Var]bool, v *types.Var) {
-	if v.IsField() {
-		st.markField(v)
-		return
-	}
-	if !local[v] {
-		local[v] = true
-		st.changed = true
-	}
-}
-
-func (st *ulState) markField(v *types.Var) {
-	if !st.fields[v] {
-		st.fields[v] = true
-		st.changed = true
-	}
-}
-
-// tainted reports whether the expression carries an untrusted length in
-// node n.
-func (st *ulState) tainted(n *callgraph.Node, expr ast.Expr) bool {
-	info := n.Pkg.Info
-	local := st.locals[n]
-	switch e := ast.Unparen(expr).(type) {
-	case *ast.Ident:
-		if v, ok := info.Uses[e].(*types.Var); ok {
-			return local[v] || (v.IsField() && st.fields[v])
-		}
-	case *ast.SelectorExpr:
-		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
-			return st.fields[v]
-		}
-	case *ast.BinaryExpr:
-		return st.tainted(n, e.X) || st.tainted(n, e.Y)
-	case *ast.CallExpr:
-		// Conversion: int64(x) carries x's taint.
-		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
-			return st.tainted(n, e.Args[0])
-		}
-		if fn := calleeFunc2(info, e); fn != nil {
-			// Raw wire decode inside the transport package.
-			if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" &&
-				strings.HasPrefix(fn.Name(), "Uint") &&
-				strings.HasSuffix(n.Pkg.Path, transportPathSuffix) {
-				return true
-			}
-			if callee := st.pass.Graph.NodeOf(fn); callee != nil {
-				return st.returns[callee]
-			}
-		}
-	}
-	return false
-}
-
 // lenCheck records a comparison over an object in an if condition; a
 // later sink over the same object counts as bounds-checked.
 type lenCheck struct {
@@ -268,7 +115,7 @@ type lenCheck struct {
 
 // reportSinks scans n for make/io.CopyN/io.ReadFull sites fed by tainted
 // lengths with no prior comparison on the same variable.
-func (st *ulState) reportSinks(n *callgraph.Node) {
+func (st *ulSinks) reportSinks(n *callgraph.Node) {
 	info := n.Pkg.Info
 	var checks []lenCheck
 	ast.Inspect(n.Body, func(x ast.Node) bool {
@@ -292,7 +139,7 @@ func (st *ulState) reportSinks(n *callgraph.Node) {
 
 // checkSink reports one sink call if any of its size arguments is tainted
 // and unchecked.
-func (st *ulState) checkSink(n *callgraph.Node, call *ast.CallExpr, checks []lenCheck) {
+func (st *ulSinks) checkSink(n *callgraph.Node, call *ast.CallExpr, checks []lenCheck) {
 	info := n.Pkg.Info
 	var sizeArgs []ast.Expr
 	var what string
@@ -323,7 +170,7 @@ func (st *ulState) checkSink(n *callgraph.Node, call *ast.CallExpr, checks []len
 		}
 	}
 	for _, arg := range sizeArgs {
-		if !st.tainted(n, arg) || st.checked(info, arg, checks, call.Pos()) {
+		if !st.taint.Tainted(n, arg) || st.checked(info, arg, checks, call.Pos()) {
 			continue
 		}
 		st.pass.Reportf(call.Pos(),
@@ -334,7 +181,7 @@ func (st *ulState) checkSink(n *callgraph.Node, call *ast.CallExpr, checks []len
 
 // checked reports whether some variable of the sink argument appears in
 // an if-condition comparison before the sink.
-func (st *ulState) checked(info *types.Info, arg ast.Expr, checks []lenCheck, sink token.Pos) bool {
+func (st *ulSinks) checked(info *types.Info, arg ast.Expr, checks []lenCheck, sink token.Pos) bool {
 	ok := false
 	ast.Inspect(arg, func(y ast.Node) bool {
 		v := exprVar(info, y)

@@ -1,0 +1,255 @@
+package valueflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hvac/internal/analysis/callgraph"
+)
+
+// Taint is a module-wide may-flow analysis: the analyzer seeds it with
+// field variables (and optionally a call classifier) and Run iterates
+// the whole module to a fixed point. Afterwards Tainted answers
+// per-expression queries inside any node.
+//
+// Flow is tracked through three stores:
+//
+//   - struct fields, module-global (an assignment anywhere taints the
+//     field for every reader),
+//   - per-node locals,
+//   - function results (a tainted return taints every call site).
+//
+// Propagation covers assignments, var specs, composite literals,
+// binary arithmetic, conversions and returns. With PropagateArgs set,
+// a tainted call argument also taints the callee's parameter — the
+// direction untrustedlen deliberately leaves off (its sinks care about
+// where lengths land, not every helper they pass through).
+type Taint struct {
+	// Graph is the module call graph; iteration follows Nodes() order.
+	Graph *callgraph.Graph
+	// Seeds are the a-priori tainted struct fields.
+	Seeds map[*types.Var]bool
+	// SourceCall, if non-nil, classifies a call expression as an
+	// original taint source in node n (e.g. a raw wire decode).
+	SourceCall func(n *callgraph.Node, call *ast.CallExpr) bool
+	// PropagateArgs, if set, flows taint from call arguments into the
+	// matching parameter of statically-resolved in-module callees.
+	PropagateArgs bool
+
+	fields  map[*types.Var]bool
+	returns map[*callgraph.Node]bool
+	locals  map[*callgraph.Node]map[*types.Var]bool
+	changed bool
+}
+
+// taintRounds caps the module fixpoint. Taint only grows, so the loop
+// terminates on its own; the cap guards against a non-monotone
+// SourceCall hook.
+const taintRounds = 512
+
+// Run iterates propagation over every node until no new field, local
+// or return taint appears.
+func (t *Taint) Run() {
+	t.fields = make(map[*types.Var]bool, len(t.Seeds))
+	for v := range t.Seeds {
+		t.fields[v] = true
+	}
+	t.returns = make(map[*callgraph.Node]bool)
+	t.locals = make(map[*callgraph.Node]map[*types.Var]bool)
+	for _, n := range t.Graph.Nodes() {
+		t.locals[n] = make(map[*types.Var]bool)
+	}
+	Fixpoint(taintRounds, func() bool {
+		t.changed = false
+		for _, n := range t.Graph.Nodes() {
+			if n.Body != nil {
+				t.propagate(n)
+			}
+		}
+		return t.changed
+	})
+}
+
+// TaintedField reports whether the field variable carries taint.
+func (t *Taint) TaintedField(v *types.Var) bool { return t.fields[v] }
+
+// ReturnsTainted reports whether the node's result carries taint.
+func (t *Taint) ReturnsTainted(n *callgraph.Node) bool { return t.returns[n] }
+
+// propagate runs one round over n's body.
+func (t *Taint) propagate(n *callgraph.Node) {
+	info := n.Pkg.Info
+	local := t.locals[n]
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+			return false // nested literals are their own nodes
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break // multi-value RHS: no claim
+				}
+				if !t.Tainted(n, x.Rhs[i]) {
+					continue
+				}
+				t.taintTarget(info, local, lhs)
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if i < len(x.Values) && t.Tainted(n, x.Values[i]) {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						t.mark(local, v)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			t.taintCompositeLit(n, x)
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if t.Tainted(n, res) && !t.returns[n] {
+					t.returns[n] = true
+					t.changed = true
+				}
+			}
+		case *ast.CallExpr:
+			if t.PropagateArgs {
+				t.taintArgs(n, x)
+			}
+		}
+		return true
+	})
+}
+
+// taintArgs flows tainted arguments into the parameters of a
+// statically-resolved in-module callee.
+func (t *Taint) taintArgs(n *callgraph.Node, call *ast.CallExpr) {
+	fn := StaticCallee(n.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	callee := t.Graph.NodeOf(fn)
+	if callee == nil || callee.Body == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail: the slice parameter is not a scalar flow
+		}
+		if t.Tainted(n, arg) {
+			t.mark(t.locals[callee], sig.Params().At(i))
+		}
+	}
+}
+
+// taintTarget marks an assignment target: a local variable or a struct
+// field (which taints the field module-wide).
+func (t *Taint) taintTarget(info *types.Info, local map[*types.Var]bool, lhs ast.Expr) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			t.mark(local, v)
+		} else if v, ok := info.Uses[e].(*types.Var); ok {
+			t.mark(local, v)
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			t.markField(v)
+		}
+	}
+}
+
+// taintCompositeLit taints struct fields initialized from tainted
+// values, e.g. &File{size: int64(resp.Size)}.
+func (t *Taint) taintCompositeLit(n *callgraph.Node, lit *ast.CompositeLit) {
+	info := n.Pkg.Info
+	typ := info.TypeOf(lit)
+	if typ == nil {
+		return
+	}
+	if ptr, ok := typ.Underlying().(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	strct, ok := typ.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || !t.Tainted(n, kv.Value) {
+				continue
+			}
+			if v, ok := info.Uses[key].(*types.Var); ok {
+				t.markField(v)
+			}
+		} else if i < strct.NumFields() && t.Tainted(n, elt) {
+			t.markField(strct.Field(i))
+		}
+	}
+}
+
+func (t *Taint) mark(local map[*types.Var]bool, v *types.Var) {
+	if v.IsField() {
+		t.markField(v)
+		return
+	}
+	if !local[v] {
+		local[v] = true
+		t.changed = true
+	}
+}
+
+func (t *Taint) markField(v *types.Var) {
+	if !t.fields[v] {
+		t.fields[v] = true
+		t.changed = true
+	}
+}
+
+// Tainted reports whether the expression carries taint in node n.
+func (t *Taint) Tainted(n *callgraph.Node, expr ast.Expr) bool {
+	info := n.Pkg.Info
+	local := t.locals[n]
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return local[v] || (v.IsField() && t.fields[v])
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return t.fields[v]
+		}
+	case *ast.BinaryExpr:
+		return t.Tainted(n, e.X) || t.Tainted(n, e.Y)
+	case *ast.CallExpr:
+		// Conversion: int64(x) carries x's taint.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return t.Tainted(n, e.Args[0])
+		}
+		if t.SourceCall != nil && t.SourceCall(n, e) {
+			return true
+		}
+		if fn := StaticCallee(info, e); fn != nil {
+			if callee := t.Graph.NodeOf(fn); callee != nil {
+				return t.returns[callee]
+			}
+		}
+	}
+	return false
+}
+
+// StaticCallee resolves a call expression to its statically-known
+// function or method object, or nil for dynamic and literal calls.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

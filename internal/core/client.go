@@ -76,9 +76,16 @@ type ClientConfig struct {
 }
 
 // ClientStats counts client-side activity.
+// The //hvac:pair lines declare open-outcome exclusivity to the
+// statpair analyzer: one Open counts exactly one of Redirected,
+// Passthrough, or Fallbacks — the identity the chaos tier checks as
+// Opens == Redirected + Passthrough + Fallbacks.
 type ClientStats struct {
-	Redirected     int64 // opens served via HVAC
-	Passthrough    int64 // opens outside the dataset dir
+	//hvac:pair open-outcome oneof
+	Redirected int64 // opens served via HVAC
+	//hvac:pair open-outcome oneof
+	Passthrough int64 // opens outside the dataset dir
+	//hvac:pair open-outcome oneof
 	Fallbacks      int64 // opens that fell back to the PFS after server failure
 	Degrades       int64 // redirected handles demoted to PFS mid-read (§III-H)
 	Failovers      int64 // opens (or mid-read handle migrations) served by a non-primary replica
@@ -363,6 +370,7 @@ func (c *Client) drainHedges(ch chan hedgeResult, outstanding int) {
 	}
 	c.spawnHedge(func() {
 		for i := 0; i < outstanding; i++ {
+			//hvac:blockguard every outstanding rung's worker sends exactly once into the ladder-sized buffer, bounded by the call timeout
 			c.discardHedge(<-ch)
 		}
 	})
@@ -778,6 +786,7 @@ func (f *File) Read(p []byte) (int, error) {
 
 	n, err, served := 0, error(nil), false
 	if pending {
+		//hvac:blockguard the claimed readahead worker sends exactly once into the 1-buffered raCh, bounded by the call timeout
 		r := <-f.raCh
 		if match {
 			n, err, served = f.consumeReadahead(p, r, want)
@@ -876,6 +885,7 @@ func (f *File) Close() error {
 	if pending {
 		// Drain the in-flight chunk so its pooled buffer is recycled; the
 		// RPC is bounded by the call timeout.
+		//hvac:blockguard the claimed readahead worker sends exactly once into the 1-buffered raCh, bounded by the call timeout
 		if r := <-f.raCh; r.resp != nil {
 			r.resp.Release()
 		}

@@ -122,14 +122,29 @@ type ServerConfig struct {
 // Misses counts completed background fills, which lag ReadThroughs (the
 // data-mover single-flights concurrent first reads and may still be
 // streaming when the request is answered from the fill).
+//
+// The //hvac:pair lines declare that identity to the statpair
+// analyzer, which proves per CFG path what the chaos tier asserts at
+// the end of a run: every serve event bumps one source side (left)
+// and one serve-kind side (right) together. Whole-file handle reads
+// are outside the identity (their sourcing was accounted at open);
+// the handler that bumps them carries //hvac:pair-split.
 type ServerStats struct {
-	Opens, Reads, Closes int64
-	Hits, Misses         int64
-	ReadThroughs         int64
-	BatchEntries         int64
-	BytesServed          int64
-	BytesFetched         int64
-	Evictions            int64
+	//hvac:pair served right
+	Opens int64
+	//hvac:pair served right
+	Reads  int64
+	Closes int64
+	//hvac:pair served left
+	Hits   int64
+	Misses int64
+	//hvac:pair served left
+	ReadThroughs int64
+	//hvac:pair served right
+	BatchEntries int64
+	BytesServed  int64
+	BytesFetched int64
+	Evictions    int64
 	// QueueDepth is a gauge: tasks sitting in the two mover queues at
 	// snapshot time (demand + prefetch).
 	QueueDepth int64
@@ -788,7 +803,11 @@ func (s *Server) readHandle(h *openHandle, buf []byte, off int64) (int, error) {
 	if f != nil {
 		return f.ReadAt(buf, off)
 	}
-	<-h.fe.ready
+	select {
+	case <-h.fe.ready:
+	case <-s.stop:
+		return 0, errServerClosed
+	}
 	if fl := h.fe.fill; fl != nil && fl.Acquire() {
 		n, err := fl.ReadAt(buf, off)
 		fl.Release()
@@ -810,6 +829,8 @@ func (s *Server) readHandle(h *openHandle, buf []byte, off int64) (int, error) {
 // allocation-free: the payload buffer is pooled (owned by the response,
 // recycled by the transport loop after the vectored write), the handle
 // lookup takes a sharded read lock, and the counters are atomics.
+//
+//hvac:pair-split served whole-file handle reads are outside the identity: their Hits/ReadThroughs sourcing was counted at open
 func (s *Server) handleRead(req *transport.Request) *transport.Response {
 	h, ok := s.handles.get(req.Handle)
 	if !ok {
@@ -927,7 +948,12 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 	// Serve-from-fill: register the segment and read the range out of the
 	// fill as it lands — the mover's pass is the only PFS read.
 	if fe := s.scheduleFetch(fetchTask{key: key, path: req.Path, off: segIdx * segSize, len: segSize}, true); fe != nil {
-		<-fe.ready
+		select {
+		case <-fe.ready:
+		case <-s.stop:
+			resp.Release()
+			return errResp(errServerClosed)
+		}
 		if fl := fe.fill; fl != nil && fl.Acquire() {
 			n, rerr := fl.ReadAt(buf, req.Off-segIdx*segSize)
 			fl.Release()
@@ -1054,7 +1080,11 @@ func (s *Server) readWhole(path string, room int) (data []byte, hit bool, err er
 	}
 	buf := make([]byte, fi.Size())
 	if fe := s.scheduleFetch(fetchTask{key: path, path: path}, true); fe != nil {
-		<-fe.ready
+		select {
+		case <-fe.ready:
+		case <-s.stop:
+			return nil, false, errServerClosed
+		}
 		if fl := fe.fill; fl != nil && fl.Acquire() {
 			n, rerr := fl.ReadAt(buf, 0)
 			fl.Release()

@@ -73,6 +73,7 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
+		//hvac:blockguard idle conns may sit in ReadRequestInto indefinitely by design; Close severs every tracked conn, unblocking the read
 		go s.serveConn(conn)
 	}
 }
