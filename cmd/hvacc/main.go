@@ -47,6 +47,8 @@ func main() {
 		batchSize = flag.Int("batch-size", 256, "files per scatter-gather batch for batch")
 		callTO    = flag.Duration("call-timeout", 5*time.Second, "per-RPC deadline (0 = transport default, negative = disabled)")
 		retries   = flag.Int("retries", 0, "per-RPC attempt budget, first try included (0 = transport default)")
+		planHzn   = flag.Int("plan-horizon", 0, "clairvoyant planning for read: shuffle each epoch with an access oracle, install the per-server plan, keep this many entries prefetched ahead of the read frontier (0 = off)")
+		planSeed  = flag.Uint64("plan-seed", 0, "seed for the epoch access oracle used by -plan-horizon")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -80,6 +82,17 @@ func main() {
 		start := time.Now()
 		for e := 0; e < *epochs; e++ {
 			epochStart := time.Now()
+			order := paths
+			if *planHzn > 0 {
+				// Clairvoyant epoch: shuffle deterministically, tell every
+				// server what it will serve and in what order, then read in
+				// exactly that order so the plan pump stays ahead of us.
+				oracle := hvac.NewAccessOracle(*planSeed, e, len(paths))
+				order = hvac.PlanOrder(oracle, func(i int) string { return paths[i] })
+				if n, err := cli.InstallPlan(int64(e), order, *planHzn); err != nil {
+					fmt.Fprintf(os.Stderr, "hvacc: plan epoch %d: %d entries installed, %v\n", e, n, err)
+				}
+			}
 			var wg sync.WaitGroup
 			next := make(chan string)
 			for w := 0; w < *workers; w++ {
@@ -97,7 +110,7 @@ func main() {
 					}
 				}()
 			}
-			for _, p := range paths {
+			for _, p := range order {
 				next <- p
 			}
 			close(next)

@@ -30,10 +30,11 @@ func main() {
 		pfsDir   = flag.String("pfs", "", "dataset directory on the shared PFS (required)")
 		cacheDir = flag.String("cache", "", "node-local cache directory (required)")
 		capacity = flag.Int64("capacity", 1600e9, "cache capacity in bytes (default: Summit's 1.6 TB NVMe)")
-		movers   = flag.Int("movers", 1, "data-mover workers")
+		movers   = flag.Int("movers", 0, "data-mover workers (0 = default pool, currently 4)")
 		demandQ  = flag.Int("demand-queue", 0, "demand fetch queue depth; full queue degrades the request to read-through (0 = default)")
 		prefQ    = flag.Int("prefetch-queue", 0, "prefetch hint queue depth; full queue drops hints (0 = default)")
-		evict    = flag.String("evict", "random", "eviction policy: random|lru|fifo|clock")
+		evict    = flag.String("evict", "random", "eviction policy: random|lru|fifo|clock|clairvoyant")
+		planHzn  = flag.Int("plan-horizon", 0, "plan entries the clairvoyant pump keeps prefetched ahead of the read frontier once a client installs a plan (0 = default)")
 		peers    = flag.String("peers", "", "comma-separated addresses of every server in the job (self included, same order everywhere); enables replica warming")
 		self     = flag.Int("self", 0, "this server's index in -peers")
 		replicas = flag.Int("replicas", 1, "replica homes per file; demand fills warm the other homes when -peers is set (must match the clients' -replicas)")
@@ -58,6 +59,8 @@ func main() {
 		policy = hvac.FIFOEviction()
 	case "clock":
 		policy = hvac.ClockEviction()
+	case "clairvoyant":
+		policy = hvac.ClairvoyantEviction()
 	default:
 		fmt.Fprintf(os.Stderr, "hvacd: unknown eviction policy %q\n", *evict)
 		os.Exit(2)
@@ -70,6 +73,7 @@ func main() {
 		CacheCapacity: *capacity,
 		Policy:        policy,
 		Movers:        *movers,
+		PlanHorizon:   *planHzn,
 		DemandQueue:   *demandQ,
 		PrefetchQueue: *prefQ,
 		WriteTimeout:  *writeTO,
@@ -89,8 +93,12 @@ func main() {
 		srv.SetPeers(set, *self)
 		fmt.Printf("hvacd: replica warming across %d peers (self=%d, replicas=%d)\n", len(set), *self, *replicas)
 	}
-	fmt.Printf("hvacd: serving %s on %s (cache %s, %d movers, %s eviction)\n",
-		*pfsDir, srv.Addr(), *cacheDir, *movers, *evict)
+	moverDesc := fmt.Sprintf("%d", *movers)
+	if *movers <= 0 {
+		moverDesc = "default"
+	}
+	fmt.Printf("hvacd: serving %s on %s (cache %s, %s movers, %s eviction)\n",
+		*pfsDir, srv.Addr(), *cacheDir, moverDesc, *evict)
 
 	stop := make(chan struct{})
 	if *stats > 0 {
@@ -101,9 +109,10 @@ func main() {
 				select {
 				case <-t.C:
 					st := srv.Stats()
-					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d batch=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB queue=%d prefetch-drops=%d demand-rejects=%d replica-warms=%d\n",
+					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d batch=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB queue=%d prefetch-drops=%d demand-rejects=%d replica-warms=%d plan=%d/%d@%d\n",
 						st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BatchEntries, st.BytesServed, st.BytesFetched,
-						st.Evictions, srv.CachedFiles(), srv.CachedBytes(), st.QueueDepth, st.PrefetchDrops, st.DemandRejects, st.ReplicaWarms)
+						st.Evictions, srv.CachedFiles(), srv.CachedBytes(), st.QueueDepth, st.PrefetchDrops, st.DemandRejects, st.ReplicaWarms,
+						st.PlanPrefetches, st.PlanKeys, st.PlanFrontier)
 					fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
 				case <-stop:
 					return

@@ -43,6 +43,7 @@ import (
 	"hvac/internal/place"
 	"hvac/internal/sim"
 	"hvac/internal/summit"
+	"hvac/internal/train"
 	"hvac/internal/transport"
 	"hvac/internal/vfs"
 )
@@ -104,6 +105,29 @@ func FIFOEviction() EvictionPolicy { return cachestore.NewFIFO() }
 
 // ClockEviction returns second-chance (CLOCK) eviction.
 func ClockEviction() EvictionPolicy { return cachestore.NewClock() }
+
+// ClairvoyantEviction returns next-access-distance (Belady) eviction
+// scored from installed epoch plans (Client.InstallPlan / OpPlan), with
+// a segmented-LRU ghost-list fallback for keys no plan covers. Pass the
+// same value to ServerConfig.Policy so the server can feed it plans.
+func ClairvoyantEviction() *cachestore.Clairvoyant { return cachestore.NewClairvoyant() }
+
+// AccessOracle is the epoch access order the clairvoyant planner is
+// driven by; train.NewOracle values satisfy it.
+type AccessOracle = core.AccessOracle
+
+// NewAccessOracle derives epoch e's access oracle for a seeded training
+// run over n samples — the exact shuffle the train package's loop
+// consumes, computable by every rank without coordination.
+func NewAccessOracle(seed uint64, epoch, n int) AccessOracle {
+	return train.NewOracle(seed, epoch, n)
+}
+
+// PlanOrder enumerates an epoch's global access order from an oracle:
+// the path read at every step.
+func PlanOrder(o AccessOracle, pathAt func(int) string) []string {
+	return core.PlanOrder(o, pathAt)
+}
 
 // Simulation API: the Summit substrate used by the evaluation.
 type (

@@ -24,8 +24,12 @@ type Fill struct {
 	s    *Store
 	key  string
 	size int64
-	tmp  *os.File // write handle, owned by the filler
-	rd   *os.File // shared read handle for attached readers
+	// file is both the write handle (the filler appends) and the shared
+	// read handle (attached readers pread) — WriteAt/ReadAt carry their
+	// own offsets, so one descriptor serves both sides and the second
+	// open a split pair would cost is saved on every fill. It closes at
+	// the last Release, after Commit/Abort AND every reader are done.
+	file *os.File
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -43,17 +47,11 @@ func (s *Store) PutWriter(key string, size int64) (*Fill, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("cachestore: negative fill size %d for %s", size, key)
 	}
-	tmp, err := os.CreateTemp(s.dir, "fill-*")
+	tmp, err := os.CreateTemp(s.dir, "fill-*") // opened O_RDWR: readers share it
 	if err != nil {
 		return nil, fmt.Errorf("cachestore: %w", err)
 	}
-	rd, err := os.Open(tmp.Name())
-	if err != nil {
-		_ = tmp.Close()           // the open failure is the error to report
-		_ = os.Remove(tmp.Name()) // nothing was written yet
-		return nil, fmt.Errorf("cachestore: %w", err)
-	}
-	f := &Fill{s: s, key: key, size: size, tmp: tmp, rd: rd, refs: 1}
+	f := &Fill{s: s, key: key, size: size, file: tmp, refs: 1}
 	f.cond = sync.NewCond(&f.mu)
 	return f, nil
 }
@@ -65,7 +63,8 @@ func (f *Fill) Key() string { return f.key }
 func (f *Fill) Size() int64 { return f.size }
 
 // Write appends p to the fill and wakes readers waiting for the new
-// prefix. Only the creator may call it, sequentially.
+// prefix. Only the creator may call it, sequentially, and never mixed
+// with CopyFrom on the same fill.
 func (f *Fill) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	at := f.written
@@ -73,12 +72,59 @@ func (f *Fill) Write(p []byte) (int, error) {
 	if at+int64(len(p)) > f.size {
 		return 0, fmt.Errorf("cachestore: fill %s overflows declared size %d", f.key, f.size)
 	}
-	n, err := f.tmp.WriteAt(p, at)
+	n, err := f.file.WriteAt(p, at)
 	f.mu.Lock()
 	f.written += int64(n)
 	f.cond.Broadcast()
 	f.mu.Unlock()
 	return n, err
+}
+
+// fillChunk bounds one CopyFrom pass, and with it how long an attached
+// reader can wait before freshly landed bytes become visible to it.
+const fillChunk = 1 << 20
+
+// CopyFrom streams size bytes from src at off into the fill, letting
+// the kernel move them (copy_file_range/sendfile via os.File.ReadFrom)
+// instead of bouncing every byte through a user-space buffer; on
+// filesystems without an in-kernel copy path os.File falls back to a
+// normal read/write loop itself. Chunking keeps serve-from-fill live:
+// readers wake after every fillChunk, not after the whole file.
+//
+// Only the creator may call it, and never mixed with Write: CopyFrom
+// advances the file handle's own offset, which tracks written only
+// while every byte arrives through here.
+func (f *Fill) CopyFrom(src *os.File, off, size int64) (int64, error) {
+	if off > 0 {
+		if _, err := src.Seek(off, io.SeekStart); err != nil {
+			return 0, err
+		}
+	}
+	var total int64
+	for total < size {
+		n := min(size-total, fillChunk)
+		f.mu.Lock()
+		at := f.written
+		f.mu.Unlock()
+		if at+n > f.size {
+			return total, fmt.Errorf("cachestore: fill %s overflows declared size %d", f.key, f.size)
+		}
+		w, err := f.file.ReadFrom(&io.LimitedReader{R: src, N: n})
+		f.mu.Lock()
+		f.written += w
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		total += w
+		if err != nil {
+			return total, err
+		}
+		if w < n {
+			// src ran out early (it shrank under us): stop here and let
+			// Commit flag the short fill.
+			return total, nil
+		}
+	}
+	return total, nil
 }
 
 // Acquire takes a read reference. It fails once the fill has finished
@@ -104,7 +150,7 @@ func (f *Fill) Release() {
 	done := f.refs == 0
 	f.mu.Unlock()
 	if done {
-		_ = f.rd.Close() // best-effort: the handle is read-only
+		_ = f.file.Close() // best-effort: everything is written and renamed (or removed) by now
 	}
 }
 
@@ -132,7 +178,7 @@ func (f *Fill) ReadAt(p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, rerr := f.rd.ReadAt(p[:want], off)
+	n, rerr := f.file.ReadAt(p[:want], off)
 	if rerr == nil && want < int64(len(p)) {
 		rerr = io.EOF
 	}
@@ -143,7 +189,8 @@ func (f *Fill) ReadAt(p []byte, off int64) (int, error) {
 // (evicting as needed) and renamed into place. A short fill is an error.
 // Either way the writer's reference is dropped and waiting readers are
 // woken. Readers holding references keep reading the same descriptor —
-// rename does not invalidate it.
+// rename does not invalidate it, and the descriptor itself stays open
+// until the last Release.
 func (f *Fill) Commit() error {
 	f.mu.Lock()
 	if f.finished {
@@ -157,17 +204,13 @@ func (f *Fill) Commit() error {
 		f.Abort(err)
 		return err
 	}
-	err := f.tmp.Close()
-	if err == nil {
-		err = f.insert()
-	}
-	if err != nil {
+	if err := f.insert(); err != nil {
 		f.mu.Lock()
 		f.err = err
 		f.finished = true
 		f.cond.Broadcast()
 		f.mu.Unlock()
-		_ = os.Remove(f.tmp.Name()) // the insert failure is the error to report
+		_ = os.Remove(f.file.Name()) // the insert failure is the error to report
 		f.Release()
 		return err
 	}
@@ -187,7 +230,7 @@ func (f *Fill) insert() error {
 	if s.ix.Peek(f.key) {
 		// A concurrent Put won the key: keep the resident copy.
 		s.mu.Unlock()
-		return os.Remove(f.tmp.Name())
+		return os.Remove(f.file.Name())
 	}
 	evicted, err := s.ix.Insert(f.key, f.size)
 	if err != nil {
@@ -201,7 +244,7 @@ func (f *Fill) insert() error {
 	s.ix.Pin(f.key)
 	s.mu.Unlock()
 
-	err = os.Rename(f.tmp.Name(), s.pathFor(f.key))
+	err = os.Rename(f.file.Name(), s.pathFor(f.key))
 	s.mu.Lock()
 	s.ix.Unpin(f.key)
 	if err != nil {
@@ -226,7 +269,9 @@ func (f *Fill) Abort(err error) {
 	f.finished = true
 	f.cond.Broadcast()
 	f.mu.Unlock()
-	_ = f.tmp.Close()           // teardown: the abort error is what matters
-	_ = os.Remove(f.tmp.Name()) // best-effort cleanup of the partial fill
+	// The unlink does not invalidate the shared descriptor: readers that
+	// already passed the error check finish their pread, and the last
+	// Release closes it.
+	_ = os.Remove(f.file.Name()) // best-effort cleanup of the partial fill
 	f.Release()
 }

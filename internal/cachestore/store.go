@@ -62,6 +62,16 @@ func (s *Store) Contains(key string) bool {
 	return s.ix.Contains(key)
 }
 
+// Resident reports whether key is cached without touching the hit/miss
+// counters or the policy's recency state (Index.Peek under the store
+// lock). Probes by the plan pump go through this, so planning does not
+// distort the hit accounting the benchmarks report.
+func (s *Store) Resident(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Peek(key)
+}
+
 // Put copies size bytes from src into the cache under key, evicting as
 // needed. Partially written files are cleaned up on error. Putting an
 // existing key is a no-op (the reader is not consumed).

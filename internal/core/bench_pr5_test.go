@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 )
 
@@ -57,7 +58,7 @@ func BenchmarkColdEpoch64(b *testing.B) {
 	)
 	pfsDir := filepath.Join(b.TempDir(), "dataset")
 	paths := benchWritePFS(b, pfsDir, files, fileSize)
-	var opens, bytes int64
+	var opens, bytes atomic.Int64 // the default mover pool opens concurrently
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -70,9 +71,9 @@ func BenchmarkColdEpoch64(b *testing.B) {
 			OpenPFS: func(path string) (*os.File, error) {
 				f, err := os.Open(path) //hvac:pfs-fallback benchmark seam: counting the server's own PFS passes
 				if err == nil {
-					opens++
+					opens.Add(1)
 					if fi, serr := f.Stat(); serr == nil {
-						bytes += fi.Size()
+						bytes.Add(fi.Size())
 					}
 				}
 				return f, err
@@ -99,8 +100,8 @@ func BenchmarkColdEpoch64(b *testing.B) {
 		srv.Close()
 		b.StartTimer()
 	}
-	b.ReportMetric(float64(opens)/float64(b.N), "pfsopens/op")
-	b.ReportMetric(float64(bytes)/float64(b.N), "pfsbytes/op")
+	b.ReportMetric(float64(opens.Load())/float64(b.N), "pfsopens/op")
+	b.ReportMetric(float64(bytes.Load())/float64(b.N), "pfsbytes/op")
 }
 
 // smallFileCluster starts a warm 2-server cluster over 256 x 4 KiB files

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"hvac/internal/cachestore"
 	"hvac/internal/faultnet"
 	"hvac/internal/place"
 	"hvac/internal/testutil"
@@ -43,6 +44,8 @@ type chaosCase struct {
 	epochs   int
 	replicas int
 	segSize  int64
+	capacity int64                    // cache capacity per server (0 = unconstrained)
+	policy   func() cachestore.Policy // per-server eviction policy (nil = default)
 	sched    faultnet.Schedule
 }
 
@@ -187,6 +190,10 @@ func startChaosCluster(t *testing.T, pfsDir string, tc chaosCase, inj *faultnet.
 	return startCluster(t, pfsDir, tc.servers,
 		func(c *ServerConfig) {
 			c.SegmentSize = tc.segSize
+			c.CacheCapacity = tc.capacity
+			if tc.policy != nil {
+				c.Policy = tc.policy() // fresh instance per server: policies are stateful
+			}
 			// Agree with the client on placement and replica count so
 			// tests that wire the peer set (wirePeers) warm the same
 			// homes the client will fail over to. Without SetPeers these
@@ -250,110 +257,154 @@ func maybeWriteCorpus(t *testing.T, cases []chaosCase) {
 	}
 }
 
+// runChaosCase drives one matrix cell and asserts the resilience
+// invariants. preEpoch, when set, runs before each epoch's reads (the
+// planner variant installs the epoch plan there); it must not read data.
+func runChaosCase(t *testing.T, tc chaosCase, preEpoch func(e int, cli *Client, paths []string)) {
+	testutil.CheckLeaks(t)
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, tc.files, tc.size)
+	want := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		content, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = content
+	}
+
+	inj := faultnet.New(tc.sched)
+	defer inj.Close()
+	servers, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
+
+	opens, batchEntries := 0, 0
+	for e := 0; e < tc.epochs; e++ {
+		if preEpoch != nil {
+			preEpoch(e, cli, paths)
+		}
+		for _, p := range paths {
+			got, err := cli.ReadAll(p)
+			opens++
+			if err != nil {
+				t.Fatalf("epoch %d: read %s under faults: %v", e, p, err)
+			}
+			// Invariant 1: byte-identical to the PFS copy.
+			if !bytes.Equal(got, want[p]) {
+				t.Fatalf("epoch %d: %s corrupted under faults (%d bytes, want %d)", e, p, len(got), len(want[p]))
+			}
+		}
+		// The same epoch again through the scatter-gather path: one
+		// OpReadBatch per home server, with whatever degradation the
+		// schedule forces, must still return every file intact.
+		batch, err := cli.ReadBatch(paths)
+		if err != nil {
+			t.Fatalf("epoch %d: batch read under faults: %v", e, err)
+		}
+		for i, p := range paths {
+			if !bytes.Equal(batch[i], want[p]) {
+				t.Fatalf("epoch %d: batch entry %s corrupted under faults (%d bytes, want %d)", e, p, len(batch[i]), len(want[p]))
+			}
+		}
+		if tc.segSize > 0 {
+			// Segmented deployments home each segment independently,
+			// so ReadBatch degrades to per-file reads: those land in
+			// the open accounting, not the batch counters.
+			opens += len(paths)
+		} else {
+			batchEntries += len(paths)
+		}
+	}
+	if inj.Injected() == 0 {
+		t.Fatalf("schedule %q injected no faults; the case is vacuous", tc.name)
+	}
+
+	// Invariant 2, client side: every batch entry is exactly one of
+	// BatchReads or BatchFallbacks, and every open lands in exactly
+	// one of Redirected or Fallbacks. The chaos faults fail whole
+	// calls (the files are far below the frame budget and the PFS is
+	// healthy, so StatusAgain and per-entry errors cannot occur):
+	// each BatchFallback entry is served by exactly one ordinary
+	// per-file read, which the open identity has to absorb.
+	st := cli.Stats()
+	if st.BatchReads+st.BatchFallbacks != int64(batchEntries) {
+		t.Fatalf("batch accounting broken: batchreads(%d)+batchfallbacks(%d) != batch entries(%d); stats %+v",
+			st.BatchReads, st.BatchFallbacks, batchEntries, st)
+	}
+	if st.Redirected+st.Fallbacks != int64(opens)+st.BatchFallbacks {
+		t.Fatalf("open accounting broken: redirected(%d)+fallbacks(%d) != opens(%d)+batchfallbacks(%d); stats %+v",
+			st.Redirected, st.Fallbacks, opens, st.BatchFallbacks, st)
+	}
+	if st.Failovers > st.Redirected {
+		t.Fatalf("failovers(%d) exceed redirected opens(%d)", st.Failovers, st.Redirected)
+	}
+	if st.Degrades > st.Redirected {
+		t.Fatalf("degrades(%d) exceed redirected opens(%d): a handle degraded twice", st.Degrades, st.Redirected)
+	}
+	if st.HedgeWins > st.Hedges {
+		t.Fatalf("hedge wins(%d) exceed hedges fired(%d)", st.HedgeWins, st.Hedges)
+	}
+	if st.Passthrough != 0 {
+		t.Fatalf("chaos reads leaked outside the dataset dir: %+v", st)
+	}
+
+	// Invariant 2, server side: everything served — opens, batch
+	// entries, and segment reads in segmented mode — is exactly one
+	// of Hit or ReadThrough.
+	for i, s := range servers {
+		ss := s.Stats()
+		served := ss.Opens + ss.BatchEntries
+		if tc.segSize > 0 {
+			served = ss.Opens + ss.Reads + ss.BatchEntries
+		}
+		if ss.Hits+ss.ReadThroughs != served {
+			t.Fatalf("srv%d: hits(%d)+readthroughs(%d) != served(%d); stats %+v",
+				i, ss.Hits, ss.ReadThroughs, served, ss)
+		}
+	}
+}
+
 func TestChaosMatrix(t *testing.T) {
 	maybeWriteCorpus(t, chaosMatrix())
 	for _, tc := range chaosMatrix() {
 		t.Run(tc.name, func(t *testing.T) {
-			testutil.CheckLeaks(t)
-			pfsDir := filepath.Join(t.TempDir(), "dataset")
-			paths := writePFS(t, pfsDir, tc.files, tc.size)
-			want := make(map[string][]byte, len(paths))
-			for _, p := range paths {
-				content, err := os.ReadFile(p)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want[p] = content
-			}
-
-			inj := faultnet.New(tc.sched)
-			defer inj.Close()
-			servers, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
-
-			opens, batchEntries := 0, 0
-			for e := 0; e < tc.epochs; e++ {
-				for _, p := range paths {
-					got, err := cli.ReadAll(p)
-					opens++
-					if err != nil {
-						t.Fatalf("epoch %d: read %s under faults: %v", e, p, err)
-					}
-					// Invariant 1: byte-identical to the PFS copy.
-					if !bytes.Equal(got, want[p]) {
-						t.Fatalf("epoch %d: %s corrupted under faults (%d bytes, want %d)", e, p, len(got), len(want[p]))
-					}
-				}
-				// The same epoch again through the scatter-gather path: one
-				// OpReadBatch per home server, with whatever degradation the
-				// schedule forces, must still return every file intact.
-				batch, err := cli.ReadBatch(paths)
-				if err != nil {
-					t.Fatalf("epoch %d: batch read under faults: %v", e, err)
-				}
-				for i, p := range paths {
-					if !bytes.Equal(batch[i], want[p]) {
-						t.Fatalf("epoch %d: batch entry %s corrupted under faults (%d bytes, want %d)", e, p, len(batch[i]), len(want[p]))
-					}
-				}
-				if tc.segSize > 0 {
-					// Segmented deployments home each segment independently,
-					// so ReadBatch degrades to per-file reads: those land in
-					// the open accounting, not the batch counters.
-					opens += len(paths)
-				} else {
-					batchEntries += len(paths)
-				}
-			}
-			if inj.Injected() == 0 {
-				t.Fatalf("schedule %q injected no faults; the case is vacuous", tc.name)
-			}
-
-			// Invariant 2, client side: every batch entry is exactly one of
-			// BatchReads or BatchFallbacks, and every open lands in exactly
-			// one of Redirected or Fallbacks. The chaos faults fail whole
-			// calls (the files are far below the frame budget and the PFS is
-			// healthy, so StatusAgain and per-entry errors cannot occur):
-			// each BatchFallback entry is served by exactly one ordinary
-			// per-file read, which the open identity has to absorb.
-			st := cli.Stats()
-			if st.BatchReads+st.BatchFallbacks != int64(batchEntries) {
-				t.Fatalf("batch accounting broken: batchreads(%d)+batchfallbacks(%d) != batch entries(%d); stats %+v",
-					st.BatchReads, st.BatchFallbacks, batchEntries, st)
-			}
-			if st.Redirected+st.Fallbacks != int64(opens)+st.BatchFallbacks {
-				t.Fatalf("open accounting broken: redirected(%d)+fallbacks(%d) != opens(%d)+batchfallbacks(%d); stats %+v",
-					st.Redirected, st.Fallbacks, opens, st.BatchFallbacks, st)
-			}
-			if st.Failovers > st.Redirected {
-				t.Fatalf("failovers(%d) exceed redirected opens(%d)", st.Failovers, st.Redirected)
-			}
-			if st.Degrades > st.Redirected {
-				t.Fatalf("degrades(%d) exceed redirected opens(%d): a handle degraded twice", st.Degrades, st.Redirected)
-			}
-			if st.HedgeWins > st.Hedges {
-				t.Fatalf("hedge wins(%d) exceed hedges fired(%d)", st.HedgeWins, st.Hedges)
-			}
-			if st.Passthrough != 0 {
-				t.Fatalf("chaos reads leaked outside the dataset dir: %+v", st)
-			}
-
-			// Invariant 2, server side: everything served — opens, batch
-			// entries, and segment reads in segmented mode — is exactly one
-			// of Hit or ReadThrough.
-			for i, s := range servers {
-				ss := s.Stats()
-				served := ss.Opens + ss.BatchEntries
-				if tc.segSize > 0 {
-					served = ss.Opens + ss.Reads + ss.BatchEntries
-				}
-				if ss.Hits+ss.ReadThroughs != served {
-					t.Fatalf("srv%d: hits(%d)+readthroughs(%d) != served(%d); stats %+v",
-						i, ss.Hits, ss.ReadThroughs, served, ss)
-				}
-			}
+			runChaosCase(t, tc, nil)
 		})
 		// Invariant 3 (no goroutine leaks) asserted by CheckLeaks at
 		// subtest teardown, after servers and client close.
+	}
+}
+
+// installChaosPlan is the preEpoch hook for the planner matrix: install
+// the epoch's access plan (the epoch reads paths in order, so the path
+// list is the plan) on every server, tagged with the epoch as its
+// generation. The schedule may refuse or drop the OpPlan call itself —
+// plans are advisory, so install errors are deliberately discarded.
+func installChaosPlan(horizon int) func(e int, cli *Client, paths []string) {
+	return func(e int, cli *Client, paths []string) {
+		_, _ = cli.InstallPlan(int64(e), paths, horizon)
+	}
+}
+
+// The full fault matrix again, with the clairvoyant machinery live on
+// every server: Belady-scored eviction installed as the policy and an
+// epoch plan (re)installed before every epoch — under faults that can
+// refuse or corrupt the OpPlan install itself. Every invariant of the
+// base matrix (byte identity, both accounting identities, leak-free
+// teardown) must hold unchanged: plans are advisory and may never
+// affect correctness.
+func TestChaosMatrixClairvoyantPlanner(t *testing.T) {
+	for _, tc := range chaosMatrix() {
+		tc.policy = func() cachestore.Policy { return cachestore.NewClairvoyant() }
+		t.Run(tc.name, func(t *testing.T) {
+			pre := installChaosPlan(8)
+			if tc.segSize > 0 {
+				// Segmented reads consult segment keys a whole-file plan
+				// cannot observe: those cells run Clairvoyant with no plan
+				// installed, exercising the unplanned SLRU fallback.
+				pre = nil
+			}
+			runChaosCase(t, tc, pre)
+		})
 	}
 }
 
@@ -560,5 +611,93 @@ func TestChaosRetryBudgetSurfaced(t *testing.T) {
 	}
 	if st := cli.Stats(); st.Retries == 0 {
 		t.Fatal("dead-server calls burned no transport retries")
+	}
+}
+
+// Seeded replay must stay bit-for-bit with the planner in the call
+// stream: OpPlan installs shift the per-(server, op) fault indices, so
+// they must land identically across runs for the schedule to replay.
+func TestChaosReplayWithPlanner(t *testing.T) {
+	testutil.CheckLeaks(t)
+	tc := chaosCase{
+		name: "replay-planner", servers: 2, files: 10, size: 512, epochs: 2,
+		policy: func() cachestore.Policy { return cachestore.NewClairvoyant() },
+		sched: faultnet.Schedule{Seed: 78, Rules: []faultnet.Rule{
+			{Prob: 0.2, Fault: faultnet.Refuse},
+			{Op: transport.OpPlan, Every: 3, Fault: faultnet.Refuse},
+			{Op: transport.OpRead, Prob: 0.2, Fault: faultnet.Truncate},
+		}},
+	}
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, tc.files, tc.size)
+	run := func() []faultnet.Event {
+		inj := faultnet.New(tc.sched)
+		defer inj.Close()
+		_, cli := startChaosCluster(t, pfsDir, tc, inj, nil)
+		for e := 0; e < tc.epochs; e++ {
+			_, _ = cli.InstallPlan(int64(e), paths, 4) // refusals are part of the schedule
+			for _, p := range paths {
+				if _, err := cli.ReadAll(p); err != nil {
+					t.Fatalf("read %s: %v", p, err)
+				}
+			}
+		}
+		return inj.Trace()
+	}
+	t1, t2 := run(), run()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("same seed, different fault traces with planner installed:\nrun1: %d events\nrun2: %d events", len(t1), len(t2))
+	}
+}
+
+// Belady-scored eviction under genuine cache pressure, fault-free: the
+// cache holds a quarter of the dataset, the plan is reinstalled every
+// epoch, and eviction churns throughout. Bytes must stay identical to
+// the PFS copies, the server accounting identity must hold, and the
+// run must actually have evicted (otherwise the case is vacuous).
+func TestClairvoyantUnderEvictionPressure(t *testing.T) {
+	const (
+		files    = 24
+		size     = 4096
+		epochs   = 3
+		capacity = files * size / 4
+	)
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, files, size)
+	servers, cli := startCluster(t, pfsDir, 2, func(cfg *ServerConfig) {
+		cfg.CacheCapacity = capacity
+		cfg.Policy = cachestore.NewClairvoyant()
+	}, nil)
+
+	for e := 0; e < epochs; e++ {
+		if _, err := cli.InstallPlan(int64(e), paths, 8); err != nil {
+			t.Fatalf("epoch %d: install plan: %v", e, err)
+		}
+		for i, p := range paths {
+			got, err := cli.ReadAll(p)
+			if err != nil {
+				t.Fatalf("epoch %d: read %s: %v", e, p, err)
+			}
+			want := bytes.Repeat([]byte{byte(i)}, size)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("epoch %d: %s corrupted under eviction pressure", e, p)
+			}
+		}
+	}
+	var evictions int64
+	for i, s := range servers {
+		s.WaitIdle()
+		ss := s.Stats()
+		if ss.Hits+ss.ReadThroughs != ss.Opens {
+			t.Fatalf("srv%d: hits(%d)+readthroughs(%d) != opens(%d); stats %+v",
+				i, ss.Hits, ss.ReadThroughs, ss.Opens, ss)
+		}
+		if s.CachedBytes() > capacity {
+			t.Fatalf("srv%d: cached %d bytes over the %d-byte capacity", i, s.CachedBytes(), capacity)
+		}
+		evictions += ss.Evictions
+	}
+	if evictions == 0 {
+		t.Fatal("no evictions at quarter-capacity; the pressure case is vacuous")
 	}
 }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hvac/internal/cachestore"
+	"hvac/internal/transport"
+)
+
+// A plan whose horizon covers the whole epoch warms every file before
+// the first read: epoch-1 demand reads all land on cache (or on an
+// in-flight fill), with zero read-throughs.
+func TestPlanInstallPrefetchesWholeEpoch(t *testing.T) {
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, 16, 1024)
+	servers, cli := startCluster(t, pfsDir, 1, func(cfg *ServerConfig) {
+		cfg.Policy = cachestore.NewClairvoyant()
+	}, nil)
+	srv := servers[0]
+
+	installed, err := cli.InstallPlan(1, paths, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed != len(paths) {
+		t.Fatalf("installed %d plan entries, want %d", installed, len(paths))
+	}
+	srv.WaitIdle()
+	if got := srv.CachedFiles(); got != len(paths) {
+		t.Fatalf("plan pump cached %d files, want %d", got, len(paths))
+	}
+	st := srv.Stats()
+	if st.PlanInstalled != 16 || st.PlanPrefetches != 16 || st.PlanKeys != 16 {
+		t.Fatalf("plan stats = installed %d prefetches %d keys %d, want 16/16/16",
+			st.PlanInstalled, st.PlanPrefetches, st.PlanKeys)
+	}
+	if st.PlanFrontier != -1 {
+		t.Fatalf("frontier %d before any read, want -1", st.PlanFrontier)
+	}
+
+	for _, p := range paths {
+		if _, err := cli.ReadAll(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = srv.Stats()
+	if st.ReadThroughs != 0 {
+		t.Fatalf("%d read-throughs in a fully planned epoch, want 0", st.ReadThroughs)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits in a fully planned epoch: %+v", st)
+	}
+	if st.PlanFrontier != int64(len(paths)-1) {
+		t.Fatalf("frontier %d after the epoch, want %d", st.PlanFrontier, len(paths)-1)
+	}
+}
+
+// The pump never runs more than horizon entries ahead of the read
+// frontier, and observed demand reads advance it.
+func TestPlanFrontierBoundsPrefetch(t *testing.T) {
+	const horizon = 4
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, 16, 512)
+	servers, cli := startCluster(t, pfsDir, 1, func(cfg *ServerConfig) {
+		cfg.Policy = cachestore.NewClairvoyant()
+	}, nil)
+	srv := servers[0]
+
+	if _, err := cli.InstallPlan(1, paths, horizon); err != nil {
+		t.Fatal(err)
+	}
+	srv.WaitIdle()
+	// Frontier is -1: positions 0..horizon-1 are in the window.
+	if got := srv.CachedFiles(); got != horizon {
+		t.Fatalf("pump cached %d files at frontier -1, want %d", got, horizon)
+	}
+
+	// Reading position 0 slides the window to 0..horizon.
+	if _, err := cli.ReadAll(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	srv.WaitIdle()
+	if got := srv.CachedFiles(); got != horizon+1 {
+		t.Fatalf("pump cached %d files at frontier 0, want %d", got, horizon+1)
+	}
+
+	// Jumping the frontier to position 7 slides it to 0..7+horizon.
+	if _, err := cli.ReadAll(paths[7]); err != nil {
+		t.Fatal(err)
+	}
+	srv.WaitIdle()
+	if got, want := srv.CachedFiles(), 7+horizon+1; got != want {
+		t.Fatalf("pump cached %d files at frontier 7, want %d", got, want)
+	}
+	if st := srv.Stats(); st.PlanFrontier != 7 {
+		t.Fatalf("frontier %d, want 7", st.PlanFrontier)
+	}
+}
+
+// Chunked installs append in order under one generation; a chunk for a
+// different generation or at the wrong offset is refused, as is a
+// negative horizon or a key outside the dataset — and a refused chunk
+// never corrupts the installed plan.
+func TestPlanChunkedInstallRejections(t *testing.T) {
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, 4, 256)
+	servers, _ := startCluster(t, pfsDir, 1, nil, nil)
+	srv := servers[0]
+
+	plan := func(handle, off, ln int64, keys []string) *transport.Response {
+		blob, err := transport.EncodeBatchPaths(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv.handlePlan(&transport.Request{Op: transport.OpPlan, Handle: handle, Off: off, Len: ln, Path: blob})
+	}
+
+	if resp := plan(7, 0, 0, paths[:2]); resp.Error() != nil || resp.Size != 2 {
+		t.Fatalf("first chunk: err=%v size=%d", resp.Error(), resp.Size)
+	}
+	if resp := plan(7, 2, 0, paths[2:]); resp.Error() != nil || resp.Size != 4 {
+		t.Fatalf("second chunk: err=%v size=%d", resp.Error(), resp.Size)
+	}
+	if resp := plan(8, 4, 0, paths[:1]); resp.Error() == nil {
+		t.Fatal("chunk for a stale generation was accepted")
+	}
+	if resp := plan(7, 99, 0, paths[:1]); resp.Error() == nil {
+		t.Fatal("out-of-order chunk was accepted")
+	}
+	if resp := plan(7, 4, -1, paths[:1]); resp.Error() == nil {
+		t.Fatal("negative horizon was accepted")
+	}
+	outside := filepath.Join(t.TempDir(), "elsewhere.bin")
+	if resp := plan(7, 4, 0, []string{outside}); resp.Error() == nil {
+		t.Fatal("plan key outside the dataset was accepted")
+	}
+	if keys, frontier := srv.planSnapshot(); keys != 4 || frontier != -1 {
+		t.Fatalf("plan after refused chunks: keys=%d frontier=%d, want 4/-1", keys, frontier)
+	}
+	// A new generation at Off 0 replaces everything.
+	if resp := plan(9, 0, 0, paths[:1]); resp.Error() != nil || resp.Size != 1 {
+		t.Fatalf("replacing generation: err=%v size=%d", resp.Error(), resp.Size)
+	}
+	srv.WaitIdle()
+}
+
+// The default mover pool fills concurrently: two cold prefetches must
+// both reach the PFS before either is released. A single-mover pool
+// would serialize them and time this out.
+func TestMoverDefaultConcurrency(t *testing.T) {
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writePFS(t, pfsDir, 2, 1024)
+	arrived := make(chan string, 2)
+	release := make(chan struct{})
+	servers, cli := startCluster(t, pfsDir, 1, func(cfg *ServerConfig) {
+		cfg.OpenPFS = func(path string) (*os.File, error) {
+			arrived <- path
+			<-release
+			return os.Open(path) //hvac:pfs-fallback test seam: rendezvous proving concurrent movers
+		}
+	}, nil)
+	srv := servers[0]
+
+	if n := cli.Prefetch(paths); n != 2 {
+		t.Fatalf("prefetch accepted %d files, want 2", n)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(10 * time.Second):
+			close(release) // unblock the stuck mover before failing
+			t.Fatalf("only %d concurrent PFS opens; the default mover pool must fill in parallel", i)
+		}
+	}
+	close(release)
+	srv.WaitIdle()
+	if got := srv.CachedFiles(); got != 2 {
+		t.Fatalf("cached %d files after release, want 2", got)
+	}
+}

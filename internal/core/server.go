@@ -56,6 +56,14 @@ const (
 	defaultPrefetchQueue = 4096
 )
 
+// defaultMovers is the data-mover pool size when ServerConfig.Movers is
+// unset. One mover (the paper's single dedicated thread) serializes
+// every cold fill behind one PFS copy at a time, which BENCH_PR5's
+// ColdEpoch64 showed dominating first-epoch latency; a small pool keeps
+// concurrent demand misses overlapped without approaching the PFS
+// connection limits a real deployment budgets per node.
+const defaultMovers = 4
+
 // ServerConfig configures a real-mode HVAC server instance.
 type ServerConfig struct {
 	// ListenAddr is the TCP address to serve on ("127.0.0.1:0" for tests).
@@ -69,10 +77,17 @@ type ServerConfig struct {
 	CacheCapacity int64
 	// Policy is the eviction policy; nil means the paper's random policy.
 	Policy cachestore.Policy
-	// Movers is the number of data-mover workers (the paper dedicates one
-	// thread per server instance; multi-instance deployments i×1 can
-	// equivalently run one server with i movers).
+	// Movers is the number of data-mover workers; 0 means defaultMovers.
+	// The paper dedicates one thread per server instance; multi-instance
+	// deployments i×1 can equivalently run one server with i movers, and
+	// a pool keeps concurrent cold fills from serializing behind a single
+	// PFS copy.
 	Movers int
+	// PlanHorizon is how many plan entries the clairvoyant pump keeps
+	// ahead of the observed read frontier once a plan is installed
+	// (OpPlan); 0 means defaultPlanHorizon. An install RPC carrying its
+	// own horizon overrides this.
+	PlanHorizon int
 	// SegmentSize > 0 enables segment-level caching (§III-E): files are
 	// cached and served in SegmentSize-byte segments, each homed
 	// independently, which balances load for datasets with highly skewed
@@ -158,6 +173,17 @@ type ServerStats struct {
 	// that were accepted (the peer may still drop the hint under its own
 	// prefetch backpressure, counted there as PrefetchDrops).
 	ReplicaWarms int64
+	// PlanInstalled counts plan entries accepted over OpPlan (across all
+	// generations); PlanPrefetches counts fills the plan pump enqueued.
+	// Both sit outside the served identity: a planned fill is a prefetch,
+	// counted as a Miss when it completes like any other fill.
+	PlanInstalled  int64
+	PlanPrefetches int64
+	// PlanKeys and PlanFrontier are gauges: the installed plan's length
+	// and the highest plan position observed as a demand read (-1 before
+	// the first).
+	PlanKeys     int64
+	PlanFrontier int64
 }
 
 // serverCounters is the live form of ServerStats: typed atomics, so the
@@ -173,22 +199,26 @@ type serverCounters struct {
 	prefetchDrops        atomic.Int64
 	demandRejects        atomic.Int64
 	replicaWarms         atomic.Int64
+	planInstalled        atomic.Int64
+	planPrefetches       atomic.Int64
 }
 
 func (c *serverCounters) snapshot() ServerStats {
 	return ServerStats{
-		Opens:         c.opens.Load(),
-		Reads:         c.reads.Load(),
-		Closes:        c.closes.Load(),
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		ReadThroughs:  c.readThroughs.Load(),
-		BatchEntries:  c.batchEntries.Load(),
-		BytesServed:   c.bytesServed.Load(),
-		BytesFetched:  c.bytesFetched.Load(),
-		PrefetchDrops: c.prefetchDrops.Load(),
-		DemandRejects: c.demandRejects.Load(),
-		ReplicaWarms:  c.replicaWarms.Load(),
+		Opens:          c.opens.Load(),
+		Reads:          c.reads.Load(),
+		Closes:         c.closes.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		ReadThroughs:   c.readThroughs.Load(),
+		BatchEntries:   c.batchEntries.Load(),
+		BytesServed:    c.bytesServed.Load(),
+		BytesFetched:   c.bytesFetched.Load(),
+		PrefetchDrops:  c.prefetchDrops.Load(),
+		DemandRejects:  c.demandRejects.Load(),
+		ReplicaWarms:   c.replicaWarms.Load(),
+		PlanInstalled:  c.planInstalled.Load(),
+		PlanPrefetches: c.planPrefetches.Load(),
 	}
 }
 
@@ -220,12 +250,13 @@ func (fe *fillEntry) publish(f *cachestore.Fill) {
 // fetchTask names one data-mover copy: a whole file (Len == 0) or one
 // segment of it.
 type fetchTask struct {
-	key    string // cache-store key ("path" or "path@segIdx")
-	path   string
-	off    int64
-	len    int64 // 0 = to EOF (whole file)
-	demand bool  // a client is waiting; completed demand fills warm the replicas
-	entry  *fillEntry
+	key     string // cache-store key ("path" or "path@segIdx")
+	path    string
+	off     int64
+	len     int64 // 0 = to EOF (whole file)
+	demand  bool  // a client is waiting; completed demand fills warm the replicas
+	planned bool  // scheduled by the plan pump; completion re-pumps the plan
+	entry   *fillEntry
 }
 
 type openHandle struct {
@@ -257,6 +288,16 @@ type Server struct {
 	nextFD  atomic.Int64
 	stats   serverCounters
 
+	// Clairvoyant planning state (planner.go). planArmed short-circuits
+	// planObserve on the warm read path until a plan is installed;
+	// planHorizon is the pump window (install RPCs may override the
+	// configured value); belady is cfg.Policy when it is the Clairvoyant
+	// eviction policy, so installed plans also score eviction.
+	plan        planner
+	planArmed   atomic.Bool
+	planHorizon atomic.Int64
+	belady      *cachestore.Clairvoyant
+
 	// mu guards only the data-mover single-flight state below — nothing
 	// on the warm read path takes it.
 	mu       sync.Mutex
@@ -286,7 +327,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		return nil, errors.New("core: ServerConfig.PFSDir is required")
 	}
 	if cfg.Movers <= 0 {
-		cfg.Movers = 1
+		cfg.Movers = defaultMovers
 	}
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 1 << 40
@@ -317,6 +358,14 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	if s.openPFS == nil {
 		s.openPFS = os.Open
+	}
+	if cfg.PlanHorizon > 0 {
+		s.planHorizon.Store(int64(cfg.PlanHorizon))
+	} else {
+		s.planHorizon.Store(defaultPlanHorizon)
+	}
+	if cl, ok := cfg.Policy.(*cachestore.Clairvoyant); ok {
+		s.belady = cl
 	}
 	s.idle = sync.NewCond(&s.mu)
 	if len(cfg.Peers) > 0 {
@@ -402,6 +451,9 @@ func (s *Server) Stats() ServerStats {
 	_, _, ev := s.store.Stats()
 	st.Evictions = ev
 	st.QueueDepth = int64(len(s.demandQ) + len(s.prefetchQ))
+	keys, frontier := s.planSnapshot()
+	st.PlanKeys = int64(keys)
+	st.PlanFrontier = frontier
 	return st
 }
 
@@ -500,6 +552,11 @@ func (s *Server) runFetch(task fetchTask) {
 		}
 	}
 	s.finishFetch(task, err)
+	if task.planned {
+		// A planned fill retired: the pump may have stopped on prefetch
+		// backpressure, so top the window back up.
+		s.pumpPlan()
+	}
 }
 
 // warmReplicas forwards a completed demand fill to the key's other
@@ -584,14 +641,10 @@ func (s *Server) fillIn(task fetchTask) error {
 		return fmt.Errorf("hvac server: cache fill: %w", err)
 	}
 	task.entry.publish(fill)
-	var rd io.Reader = src
-	if task.off > 0 || task.len > 0 {
-		rd = io.NewSectionReader(src, task.off, size)
-	}
-	buf := transport.GetBuffer(512 << 10)
-	_, err = io.CopyBuffer(fillWriter{fill}, io.LimitReader(rd, size), buf)
-	transport.PutBuffer(buf)
-	if err != nil {
+	// CopyFrom lets the kernel move the bytes (copy_file_range/sendfile)
+	// instead of bouncing them through a user-space buffer; attached
+	// readers are still served chunk by chunk as the prefix lands.
+	if _, err := fill.CopyFrom(src, task.off, size); err != nil {
 		fill.Abort(err)
 		return fmt.Errorf("hvac server: cache fill: %w", err)
 	}
@@ -602,29 +655,24 @@ func (s *Server) fillIn(task fetchTask) error {
 	return nil
 }
 
-// fillWriter masks every interface of a Fill except Write, keeping
-// io.CopyBuffer on its explicit-buffer path.
-type fillWriter struct{ f *cachestore.Fill }
-
-func (w fillWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
-
 // scheduleFetch registers a background fill for task once per cache key
 // (the §III-D single-flight guarantee) and enqueues it at the given
 // priority. It returns the fill entry to attach to, or nil when the
 // fetch could not be queued — a full demand queue (the handler serves
 // read-through itself), a dropped prefetch hint, or a closing server.
-// The non-blocking send happens under s.mu, so it cannot race Close's
-// queue drain.
-func (s *Server) scheduleFetch(task fetchTask, demand bool) *fillEntry {
+// enqueued reports whether this call created the fill (false when the
+// caller attached to a fetch already in flight). The non-blocking send
+// happens under s.mu, so it cannot race Close's queue drain.
+func (s *Server) scheduleFetch(task fetchTask, demand bool) (fe *fillEntry, enqueued bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil
+		return nil, false
 	}
 	if fe, ok := s.inflight[task.key]; ok {
-		return fe
+		return fe, false
 	}
-	fe := &fillEntry{ready: make(chan struct{}), done: make(chan struct{})}
+	fe = &fillEntry{ready: make(chan struct{}), done: make(chan struct{})}
 	task.entry = fe
 	task.demand = demand
 	q := s.prefetchQ
@@ -634,14 +682,14 @@ func (s *Server) scheduleFetch(task fetchTask, demand bool) *fillEntry {
 	select {
 	case q <- task:
 		s.inflight[task.key] = fe
-		return fe
+		return fe, true
 	default:
 		if demand {
 			s.stats.demandRejects.Add(1)
 		} else {
 			s.stats.prefetchDrops.Add(1)
 		}
-		return nil
+		return nil, false
 	}
 }
 
@@ -693,6 +741,8 @@ func (s *Server) handle(req *transport.Request) *transport.Response {
 	case transport.OpReadBatch:
 		defer func() { s.latRead.Observe(time.Since(start)) }()
 		return s.handleReadBatch(req)
+	case transport.OpPlan:
+		return s.handlePlan(req)
 	default:
 		return errResp(fmt.Errorf("hvac server: unknown op %d", req.Op))
 	}
@@ -745,6 +795,7 @@ func (s *Server) handleOpen(req *transport.Request) *transport.Response {
 			s.handles.put(fd, &openHandle{f: f, release: release, size: fi.Size(), path: req.Path})
 			s.stats.opens.Add(1)
 			s.stats.hits.Add(1)
+			s.planObserve(req.Path)
 			return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
 		}
 		// Evicted between Contains and Open: fall through to the miss path.
@@ -754,7 +805,7 @@ func (s *Server) handleOpen(req *transport.Request) *transport.Response {
 		return errResp(fmt.Errorf("hvac server: pfs stat: %w", err))
 	}
 	h := &openHandle{size: fi.Size(), path: req.Path}
-	if fe := s.scheduleFetch(fetchTask{key: req.Path, path: req.Path}, true); fe != nil {
+	if fe, _ := s.scheduleFetch(fetchTask{key: req.Path, path: req.Path}, true); fe != nil {
 		h.fe = fe
 	} else if err := s.promote(h); err != nil {
 		// Backpressure fallback needs its own PFS handle right away.
@@ -764,6 +815,7 @@ func (s *Server) handleOpen(req *transport.Request) *transport.Response {
 	s.handles.put(fd, h)
 	s.stats.opens.Add(1)
 	s.stats.readThroughs.Add(1)
+	s.planObserve(req.Path)
 	return &transport.Response{Status: transport.StatusOK, Handle: fd, Size: fi.Size()}
 }
 
@@ -927,6 +979,7 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 		return errResp(fmt.Errorf("hvac server: range [%d,%d) crosses a segment boundary", req.Off, req.Off+req.Len))
 	}
 	key := segKey(req.Path, segIdx)
+	s.planObserve(key)
 	resp := transport.AcquireResponse()
 	buf := resp.Grab(int(req.Len))
 
@@ -947,7 +1000,7 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 	}
 	// Serve-from-fill: register the segment and read the range out of the
 	// fill as it lands — the mover's pass is the only PFS read.
-	if fe := s.scheduleFetch(fetchTask{key: key, path: req.Path, off: segIdx * segSize, len: segSize}, true); fe != nil {
+	if fe, _ := s.scheduleFetch(fetchTask{key: key, path: req.Path, off: segIdx * segSize, len: segSize}, true); fe != nil {
 		select {
 		case <-fe.ready:
 		case <-s.stop:
@@ -1045,6 +1098,7 @@ func (s *Server) handleReadBatch(req *transport.Request) *transport.Response {
 			} else {
 				s.stats.readThroughs.Add(1)
 			}
+			s.planObserve(p)
 		}
 	}
 	return &transport.Response{Status: transport.StatusOK, Size: int64(len(paths)), Data: out}
@@ -1079,7 +1133,7 @@ func (s *Server) readWhole(path string, room int) (data []byte, hit bool, err er
 		return nil, false, errBatchAgain
 	}
 	buf := make([]byte, fi.Size())
-	if fe := s.scheduleFetch(fetchTask{key: path, path: path}, true); fe != nil {
+	if fe, _ := s.scheduleFetch(fetchTask{key: path, path: path}, true); fe != nil {
 		select {
 		case <-fe.ready:
 		case <-s.stop:

@@ -191,6 +191,30 @@ func (c *SimClient) Prefetch(p *sim.Proc, paths []string) {
 	}
 }
 
+// InstallPlan distributes an epoch access plan: order lists every path
+// in global access order; each of a path's R homes receives the ordered
+// sub-list it serves, one plan-install RPC per server — the sim mirror
+// of Client.InstallPlan. Failed servers keep their previous plan.
+func (c *SimClient) InstallPlan(p *sim.Proc, order []string, horizon int) {
+	groups := make([][]string, len(c.servers))
+	for _, path := range order {
+		for _, si := range c.replicas(path) {
+			groups[si] = append(groups[si], path)
+		}
+	}
+	for si, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		srv := c.servers[si]
+		if srv.Failed() {
+			continue
+		}
+		c.rpc(p, srv)
+		srv.InstallPlan(group, horizon)
+	}
+}
+
 // ReadBatch reads every path's full content through one scatter-gather
 // RPC per home server — the batched small-file path mirrored from the
 // real client. Entries on failed servers fall back to the PFS per file

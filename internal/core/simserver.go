@@ -53,6 +53,8 @@ type SimServerStats struct {
 	Hits, Misses         int64
 	BatchEntries         int64 // files served through scatter-gather batch reads
 	ReplicaWarms         int64 // copies pulled in because a peer's demand fill warmed us
+	PlanInstalled        int64 // plan entries accepted (mirror of the real server's OpPlan)
+	PlanPrefetches       int64 // background copies the plan pump scheduled
 	BytesServed          int64
 	BytesFetched         int64
 	Evictions            int64
@@ -81,6 +83,16 @@ type SimServer struct {
 	inflight map[string]bool
 	failed   bool
 	stats    SimServerStats
+
+	// Clairvoyant plan state — the deterministic single-threaded mirror of
+	// the real server's planner: same key list, same frontier/horizon pump
+	// semantics, minus the locks and queue backpressure (sim copies always
+	// spawn, bounded by the horizon).
+	planKeys     []string
+	planPos      map[string]int
+	planNext     int
+	planFrontier int
+	planHorizon  int
 }
 
 // NewSimServer builds a server instance. capacity is this instance's share
@@ -163,6 +175,7 @@ func (s *SimServer) open(p *sim.Proc, path string) (size int64, cached bool, err
 		s.index.Contains(path) // recency + hit accounting
 		s.stats.Hits++
 		release()
+		s.planObserve(path)
 		return size, true, nil
 	}
 	release()
@@ -172,6 +185,7 @@ func (s *SimServer) open(p *sim.Proc, path string) (size int64, cached bool, err
 	if err != nil {
 		return 0, false, err
 	}
+	s.planObserve(path)
 	return size, false, nil
 }
 
@@ -325,6 +339,7 @@ func (s *SimServer) readBatch(p *sim.Proc, paths []string, clientNode simnet.Nod
 		s.stats.BatchEntries++
 		s.stats.BytesServed += size
 		total += size
+		s.planObserve(path)
 	}
 	if s.fabric != nil && total > 0 {
 		s.fabric.Send(p, s.node, clientNode, total)
@@ -419,7 +434,64 @@ func (s *SimServer) readSegment(p *sim.Proc, key string, n, segBytes int64, clie
 	}
 	s.stats.Reads++
 	s.stats.BytesServed += n
+	s.planObserve(key)
 	return nil
+}
+
+// InstallPlan installs this server's epoch access plan: keys in the
+// order the epoch will demand them, horizon entries kept ahead of the
+// observed read frontier (0 means defaultPlanHorizon). The sim mirror
+// of the real server's OpPlan handler: the plan drives the pump below
+// and, when the index runs Clairvoyant eviction, Belady scoring too.
+func (s *SimServer) InstallPlan(keys []string, horizon int) {
+	if horizon <= 0 {
+		horizon = defaultPlanHorizon
+	}
+	s.planKeys = append(s.planKeys[:0], keys...)
+	s.planPos = make(map[string]int, len(keys))
+	for i, k := range keys {
+		s.planPos[k] = i
+	}
+	s.planNext = 0
+	s.planFrontier = -1
+	s.planHorizon = horizon
+	s.stats.PlanInstalled += int64(len(keys))
+	if cl, ok := s.index.Policy().(*cachestore.Clairvoyant); ok {
+		cl.SetPlan(keys)
+	}
+	s.pumpPlan()
+}
+
+// planObserve advances the read frontier when a demand read lands on a
+// planned key — mirror of the real server's planObserve, without locks
+// (the sim engine is single-threaded).
+func (s *SimServer) planObserve(key string) {
+	p, ok := s.planPos[key]
+	if !ok || p <= s.planFrontier {
+		return
+	}
+	s.planFrontier = p
+	if cl, ok := s.index.Policy().(*cachestore.Clairvoyant); ok {
+		cl.Advance(p + 1)
+	}
+	s.pumpPlan()
+}
+
+// pumpPlan schedules planned background copies up to horizon entries
+// ahead of the frontier. Resident and in-flight keys are skipped; there
+// is no queue backpressure in the sim, so the horizon alone bounds the
+// outstanding copies.
+func (s *SimServer) pumpPlan() {
+	for s.planNext < len(s.planKeys) && s.planNext <= s.planFrontier+s.planHorizon {
+		key := s.planKeys[s.planNext]
+		s.planNext++
+		if s.index.Peek(key) || s.inflight[key] {
+			continue
+		}
+		s.inflight[key] = true
+		s.stats.PlanPrefetches++
+		s.scheduleCopy(key, 0, true)
+	}
 }
 
 // InFlightCopies reports pending background copies (drains to zero).

@@ -106,6 +106,19 @@ func (v *View) Place(path string) int {
 	return v.Replicas(path, 1)[0]
 }
 
+// OwnedBy reports whether srv is among path's first r replica homes in
+// this view. It is the per-server key-enumeration predicate: a planner
+// walks its key universe and keeps exactly the keys it owns, instead of
+// asking some central party who owns what.
+func (v *View) OwnedBy(path string, srv, r int) bool {
+	for _, s := range v.Replicas(path, r) {
+		if s == srv {
+			return true
+		}
+	}
+	return false
+}
+
 // Replicas returns up to r distinct active servers for path, primary
 // first, by filtering the base policy's full preference order
 // base.Replicas(path, n, n) to the active members. With every member

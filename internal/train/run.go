@@ -159,7 +159,7 @@ func Run(eng *sim.Engine, cfg Config, fsFor func(node, proc int) vfs.FS) (*Resul
 				defer jobs.Close()
 				var localIO, localCompute time.Duration
 				for e := 0; e < cfg.Epochs; e++ {
-					perm := NewPerm(sim.NewRNG(cfg.Seed+uint64(e)*0x9e3779b9), n)
+					perm := NewPerm(sim.NewRNG(EpochSeed(cfg.Seed, e)), n)
 					var order []string
 					iter := 0
 					// Strided shard of the global shuffle

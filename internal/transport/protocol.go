@@ -49,6 +49,15 @@ const (
 	// whole loader batch of small samples. See batch.go for the entry
 	// encodings and the frame-budget contract.
 	OpReadBatch
+	// OpPlan installs one chunk of a clairvoyant epoch plan on a server:
+	// Path carries a batch-encoded key list in access order (the same
+	// encoding as OpReadBatch requests), Handle is the plan generation,
+	// Off is the chunk's start index within the plan (0 replaces any
+	// previous plan, later chunks must append in order), and Len is the
+	// prefetch horizon in plan entries (0 = server default). The plan
+	// drives the server's plan pump and Belady eviction scoring; it is
+	// advisory — losing it only costs prefetch accuracy, never bytes.
+	OpPlan
 )
 
 // Status codes. StatusAgain is only meaningful per batch entry: the
