@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -41,6 +42,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "seed for random eviction")
 		stats    = flag.Duration("stats", 0, "print stats every interval (0 = off)")
 		writeTO  = flag.Duration("write-timeout", 0, "per-response write deadline so dead clients cannot pin connections (0 = transport default, negative = disabled)")
+		zeroCopy = flag.Bool("zero-copy", runtime.GOOS == "linux", "serve warm cache reads with sendfile from the cache fd (Linux); off (or unsupported) falls back to pooled userspace copies")
 	)
 	flag.Parse()
 	if *pfsDir == "" || *cacheDir == "" {
@@ -77,6 +79,7 @@ func main() {
 		DemandQueue:   *demandQ,
 		PrefetchQueue: *prefQ,
 		WriteTimeout:  *writeTO,
+		ZeroCopy:      *zeroCopy,
 		Replicas:      *replicas,
 	})
 	if err != nil {
@@ -109,10 +112,11 @@ func main() {
 				select {
 				case <-t.C:
 					st := srv.Stats()
-					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d batch=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB queue=%d prefetch-drops=%d demand-rejects=%d replica-warms=%d plan=%d/%d@%d\n",
+					fmt.Printf("hvacd: opens=%d hits=%d readthrough=%d misses=%d batch=%d served=%dB fetched=%dB evictions=%d cached=%d files/%dB queue=%d prefetch-drops=%d demand-rejects=%d replica-warms=%d plan=%d/%d@%d zerocopy=%d/%d (%dB, %d fallbacks)\n",
 						st.Opens, st.Hits, st.ReadThroughs, st.Misses, st.BatchEntries, st.BytesServed, st.BytesFetched,
 						st.Evictions, srv.CachedFiles(), srv.CachedBytes(), st.QueueDepth, st.PrefetchDrops, st.DemandRejects, st.ReplicaWarms,
-						st.PlanPrefetches, st.PlanKeys, st.PlanFrontier)
+						st.PlanPrefetches, st.PlanKeys, st.PlanFrontier,
+						st.ZeroCopySends, st.ZeroCopyEligible, st.ZeroCopyBytes, st.ZeroCopyFallbacks)
 					fmt.Printf("hvacd latencies:\n%s\n", srv.LatencySummary())
 				case <-stop:
 					return

@@ -11,6 +11,7 @@ package analysis
 //   - (*Store).PutWriter         → (*Fill).Commit or (*Fill).Abort
 //   - (*Fill).Acquire            → (*Fill).Release
 //   - (*handlePool).acquire      → (*handlePool).release
+//   - (*Store).Lease             → (*Lease).Release
 //
 // The analyzer tracks a token per acquisition site through a forward
 // dataflow over the function's CFG: assignments alias it, returns and
@@ -53,7 +54,7 @@ import (
 // and file handles.
 var OwnerPass = &Analyzer{
 	Name:      "ownerpass",
-	Doc:       "pooled buffers, responses, fills and handles must be released on every path",
+	Doc:       "pooled buffers, responses, fills, handles and fd leases must be released on every path",
 	RunModule: runOwnerPass,
 }
 
@@ -67,6 +68,7 @@ const (
 	resFillRef                 // (*Fill).Acquire → Release
 	resHandle                  // (*handlePool).acquire → release
 	resFillAny                 // a *Fill parameter: any of Commit/Abort/Release retires it
+	resLease                   // (*Store).Lease → (*Lease).Release
 )
 
 func (k resKind) noun() string {
@@ -81,6 +83,8 @@ func (k resKind) noun() string {
 		return "fill reference"
 	case resHandle:
 		return "pooled file handle"
+	case resLease:
+		return "fd lease"
 	}
 	return "fill"
 }
@@ -97,6 +101,8 @@ func (k resKind) releaseVerb() string {
 		return "Release"
 	case resHandle:
 		return "handlePool.release"
+	case resLease:
+		return "Release"
 	}
 	return "a release"
 }
@@ -421,6 +427,8 @@ func paramResKind(t types.Type) (resKind, bool) {
 		return resFillAny, true
 	case path == cachestorePath && name == "pooledFile":
 		return resHandle, true
+	case path == cachestorePath && name == "Lease":
+		return resLease, true
 	}
 	return 0, false
 }
@@ -1153,6 +1161,8 @@ func (fa *fnAnalysis) releaseTarget(call *ast.CallExpr) (*ast.Ident, map[resKind
 		return recv, map[resKind]bool{resFill: true, resFillAny: true}
 	case path == cachestorePath && name == "Fill" && fn.Name() == "Release":
 		return recv, map[resKind]bool{resFillRef: true, resFillAny: true}
+	case path == cachestorePath && name == "Lease" && fn.Name() == "Release":
+		return recv, map[resKind]bool{resLease: true}
 	}
 	return nil, nil
 }
@@ -1244,6 +1254,8 @@ func (fa *fnAnalysis) acquisitions(call *ast.CallExpr) []acqSite {
 			out = append(out, acqSite{index: i, kind: resFill, what: what})
 		case path == cachestorePath && name == "pooledFile":
 			out = append(out, acqSite{index: i, kind: resHandle, what: what})
+		case path == cachestorePath && name == "Lease":
+			out = append(out, acqSite{index: i, kind: resLease, what: what})
 		}
 	}
 	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == transportPath && fn.Name() == "GetBuffer" {

@@ -110,3 +110,31 @@ func fillRefLeak(fl *cachestore.Fill, p []byte) int {
 	}
 	return 0
 }
+
+// leaseLeakOnError leases the cached file for a zero-copy serve but
+// leaks the lease when the read fails: the fd stays pinned in the
+// handle pool and an evicted file can never close.
+func leaseLeakOnError(s *cachestore.Store, key string, p []byte) (int, error) {
+	lz, err := s.Lease(key) // want "fd lease .* may leak"
+	if err != nil {
+		return 0, err
+	}
+	n, rerr := lz.ReadAt(p, 0)
+	if rerr != nil {
+		return 0, rerr
+	}
+	lz.Release()
+	return n, nil
+}
+
+// leaseDoubleRelease violates the protocol even though the runtime
+// guard happens to tolerate it: releasing twice is a latent bug once a
+// second holder recycles the pooled Lease struct in between.
+func leaseDoubleRelease(s *cachestore.Store, key string) {
+	lz, err := s.Lease(key)
+	if err != nil {
+		return
+	}
+	lz.Release()
+	lz.Release() // want "double release"
+}

@@ -123,3 +123,20 @@ func fillRead(fl *cachestore.Fill, p []byte) int {
 	}
 	return 0
 }
+
+// leaseRead is the zero-copy serve idiom: err-guarded lease, released
+// on every later path.
+func leaseRead(s *cachestore.Store, key string, p []byte) (int, error) {
+	lz, err := s.Lease(key)
+	if err != nil {
+		return 0, err
+	}
+	defer lz.Release()
+	return lz.ReadAt(p, 0)
+}
+
+// leaseHandoff returns the lease to the caller: the release obligation
+// transfers with the return value.
+func leaseHandoff(s *cachestore.Store, key string) (*cachestore.Lease, error) {
+	return s.Lease(key)
+}

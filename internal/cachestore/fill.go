@@ -1,6 +1,7 @@
 package cachestore
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -84,12 +85,18 @@ func (f *Fill) Write(p []byte) (int, error) {
 // reader can wait before freshly landed bytes become visible to it.
 const fillChunk = 1 << 20
 
-// CopyFrom streams size bytes from src at off into the fill, letting
-// the kernel move them (copy_file_range/sendfile via os.File.ReadFrom)
-// instead of bouncing every byte through a user-space buffer; on
-// filesystems without an in-kernel copy path os.File falls back to a
-// normal read/write loop itself. Chunking keeps serve-from-fill live:
-// readers wake after every fillChunk, not after the whole file.
+// errSpliceFallback is the splicer's "this pair cannot splice" signal:
+// returned only before any byte has moved, so CopyFrom can degrade to
+// the userspace loop without losing data.
+var errSpliceFallback = errors.New("cachestore: splice unsupported for this source")
+
+// CopyFrom streams size bytes from src at off into the fill without
+// bouncing bytes through userspace where the kernel allows: regular
+// sources go through os.File.ReadFrom (copy_file_range), and pipe or
+// socket sources are spliced through a transit pipe into the temp file
+// (splice_linux.go). Filesystems or platforms without an in-kernel path
+// fall back to a normal read/write loop. Chunking keeps serve-from-fill
+// live: readers wake after every fillChunk, not after the whole file.
 //
 // Only the creator may call it, and never mixed with Write: CopyFrom
 // advances the file handle's own offset, which tracks written only
@@ -100,6 +107,10 @@ func (f *Fill) CopyFrom(src *os.File, off, size int64) (int64, error) {
 			return 0, err
 		}
 	}
+	sp := newSplicer(src, f.file)
+	if sp != nil {
+		defer sp.close()
+	}
 	var total int64
 	for total < size {
 		n := min(size-total, fillChunk)
@@ -109,7 +120,26 @@ func (f *Fill) CopyFrom(src *os.File, off, size int64) (int64, error) {
 		if at+n > f.size {
 			return total, fmt.Errorf("cachestore: fill %s overflows declared size %d", f.key, f.size)
 		}
-		w, err := f.file.ReadFrom(&io.LimitedReader{R: src, N: n})
+		var w int64
+		var err error
+		if sp != nil {
+			w, err = sp.move(at, n)
+			if err == errSpliceFallback {
+				// Nothing moved yet for this fill: close the transit pipe
+				// and serve the rest through userspace.
+				sp.close()
+				sp = nil
+				err = nil
+			}
+		}
+		if sp == nil && err == nil && w == 0 && n > 0 {
+			w, err = f.file.ReadFrom(&io.LimitedReader{R: src, N: n})
+		}
+		// Watermark ordering: the f.written store and the Broadcast sit in
+		// one critical section, for every chunk including the final
+		// partial one, so a ReadAt blocked in cond.Wait can never consume
+		// a wakeup before the watermark covers the bytes — Wait re-checks
+		// f.written under f.mu (regression: TestCopyFromFinalPartialChunkWakes).
 		f.mu.Lock()
 		f.written += w
 		f.cond.Broadcast()

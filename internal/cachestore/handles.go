@@ -29,18 +29,19 @@ func newHandlePool(max int) *handlePool {
 	return &handlePool{max: max, m: make(map[string]*pooledFile)}
 }
 
-// acquire returns an open file for key, opening via open() on a pool
-// miss. The caller must pass the returned *pooledFile to release exactly
+// acquire returns an open file for key, opening path on a pool miss.
+// The caller must pass the returned *pooledFile to release exactly
 // once. The open runs under the pool lock, which also serialises
-// concurrent misses on the same key (one open, not two).
-func (hp *handlePool) acquire(key string, open func() (*os.File, error)) (*pooledFile, error) {
+// concurrent misses on the same key (one open, not two). Taking the
+// path (not a closure) keeps the warm lease path allocation-free.
+func (hp *handlePool) acquire(key, path string) (*pooledFile, error) {
 	hp.mu.Lock()
 	defer hp.mu.Unlock()
 	if pf, ok := hp.m[key]; ok {
 		pf.refs++
 		return pf, nil
 	}
-	f, err := open()
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,151 @@
+package cachestore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLeaseReadRoundTrip covers the basic lease contract: Lease on a
+// cached key yields the indexed size and a readable descriptor, and
+// Release is idempotent on the caller side (the guard, not the pool).
+func TestLeaseReadRoundTrip(t *testing.T) {
+	s := newTestStore(t, 1<<20, NewLRU())
+	content := []byte("zero-copy lease payload")
+	if err := s.Put("k", int64(len(content)), bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Lease("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != int64(len(content)) {
+		t.Fatalf("lease size %d, want %d", l.Size(), len(content))
+	}
+	if l.File() == nil {
+		t.Fatal("lease exposes no descriptor")
+	}
+	got := make([]byte, len(content))
+	if _, err := l.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("lease read differs from Put content")
+	}
+	l.Release()
+	l.Release() // released lease: no-op, must not double-release the pool
+}
+
+func TestLeaseMiss(t *testing.T) {
+	s := newTestStore(t, 1<<20, NewLRU())
+	if _, err := s.Lease("never-cached"); err == nil {
+		t.Fatal("lease on an uncached key must fail")
+	}
+}
+
+// TestLeaseSurvivesEviction is the zero-copy safety property: eviction
+// racing an active lease unlinks the file and marks the pooled handle
+// dead, but the descriptor the lease pinned keeps reading the original
+// bytes — no EBADF, no new key's bytes — until Release closes it.
+func TestLeaseSurvivesEviction(t *testing.T) {
+	s := newTestStore(t, 10, NewFIFO())
+	if err := s.Put("a", 6, strings.NewReader("aaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Lease("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lease does not pin the index entry (the fd, not the key, is what
+	// sendfile needs): inserting b evicts a and unlinks its file.
+	if err := s.Put("b", 6, strings.NewReader("bbbbbb")); err != nil {
+		t.Fatalf("eviction blocked by an fd lease: %v", err)
+	}
+	if s.Resident("a") {
+		t.Fatal("a still indexed after eviction")
+	}
+	got := make([]byte, 6)
+	if _, err := l.ReadAt(got, 0); err != nil {
+		t.Fatalf("read through lease after eviction: %v", err)
+	}
+	if string(got) != "aaaaaa" {
+		t.Fatalf("lease read %q after eviction, want the original bytes", got)
+	}
+	l.Release() // last release of the dead handle closes the orphaned inode
+
+	// A fresh lease on the evicted key must miss, not resurrect the fd.
+	if _, err := s.Lease("a"); err == nil {
+		t.Fatal("lease on an evicted key must fail")
+	}
+}
+
+// TestLeaseSharesPooledHandle checks that concurrent leases on one key
+// share a descriptor (the pool's whole point) and that the handle stays
+// open until the final release even when the key dies in between.
+func TestLeaseSharesPooledHandle(t *testing.T) {
+	s := newTestStore(t, 10, NewFIFO())
+	if err := s.Put("a", 6, strings.NewReader("aaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := s.Lease("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := s.Lease("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.File() != l2.File() {
+		t.Fatal("two leases on one key opened two descriptors")
+	}
+	if err := s.Put("b", 6, strings.NewReader("bbbbbb")); err != nil { // evicts a
+		t.Fatal(err)
+	}
+	l1.Release()
+	got := make([]byte, 6)
+	if _, err := l2.ReadAt(got, 0); err != nil {
+		t.Fatalf("surviving lease read after sibling release: %v", err)
+	}
+	if string(got) != "aaaaaa" {
+		t.Fatalf("surviving lease read %q", got)
+	}
+	l2.Release()
+}
+
+// TestLeaseEvictionChurnRace hammers Lease/ReadAt against continuous
+// eviction pressure (run under -race by make check): every lease that
+// is granted must read its key's exact bytes, never EBADF and never a
+// successor key's content.
+func TestLeaseEvictionChurnRace(t *testing.T) {
+	const keys = 8
+	s := newTestStore(t, 3*64, NewFIFO()) // room for 3 of 8 keys: constant churn
+	content := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 64)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 300; i++ {
+				k := (seed + i) % keys
+				key := fmt.Sprintf("k%d", k)
+				_ = s.Put(key, 64, bytes.NewReader(content(k))) // may fail under pin races; irrelevant here
+				l, err := s.Lease(key)
+				if err != nil {
+					continue // evicted between Put and Lease: a legitimate miss
+				}
+				if _, err := l.ReadAt(buf, 0); err != nil {
+					t.Errorf("lease read for %s: %v", key, err)
+				} else if !bytes.Equal(buf, content(k)) {
+					t.Errorf("lease for %s read another key's bytes", key)
+				}
+				l.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

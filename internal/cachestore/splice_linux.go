@@ -1,0 +1,93 @@
+//go:build linux
+
+package cachestore
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// splicer moves bytes from a pipe/socket source into the fill's temp
+// file through a transit pipe: splice(src → pipe) then splice(pipe →
+// file@off), so ingested bytes never cross into userspace. Regular-file
+// sources don't come here — os.File.ReadFrom already covers them with
+// copy_file_range.
+type splicer struct {
+	src    *os.File
+	dst    *os.File
+	pr, pw int // transit pipe (read, write ends); -1 once closed
+}
+
+// newSplicer returns a splicer for the (src, dst) pair, or nil when the
+// source is not a pipe/socket or no transit pipe can be made — the
+// caller then uses the userspace loop.
+func newSplicer(src, dst *os.File) *splicer {
+	st, err := src.Stat()
+	if err != nil || st.Mode()&(os.ModeNamedPipe|os.ModeSocket) == 0 {
+		return nil
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_CLOEXEC); err != nil {
+		return nil
+	}
+	return &splicer{src: src, dst: dst, pr: p[0], pw: p[1]}
+}
+
+// move transfers up to n bytes into the destination file at offset at.
+// A short count with nil error means the source hit EOF.
+// errSpliceFallback is only returned before any byte has moved, so the
+// caller can cleanly degrade to the userspace loop.
+func (sp *splicer) move(at, n int64) (int64, error) {
+	srcFD := int(sp.src.Fd())
+	dstFD := int(sp.dst.Fd())
+	var total int64
+	for total < n {
+		nr, err := syscall.Splice(srcFD, nil, sp.pw, nil, int(n-total), 0)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			if total == 0 && spliceUnsupported(err) {
+				return 0, errSpliceFallback
+			}
+			return total, err
+		}
+		if nr == 0 {
+			return total, nil // source EOF
+		}
+		// Drain the transit pipe into the file. An error here is hard:
+		// bytes already sit in the pipe, so there is no clean fallback.
+		woff := at + total
+		for nr > 0 {
+			nw, werr := syscall.Splice(sp.pr, nil, dstFD, &woff, int(nr), 0)
+			if werr == syscall.EINTR {
+				continue
+			}
+			if werr != nil {
+				return total, werr
+			}
+			if nw == 0 {
+				return total, io.ErrUnexpectedEOF
+			}
+			nr -= nw
+			total += nw
+		}
+	}
+	return total, nil
+}
+
+// spliceUnsupported classifies errors that mean "this fd pair cannot
+// splice at all" rather than a transfer failure.
+func spliceUnsupported(err error) bool {
+	return err == syscall.EINVAL || err == syscall.ENOSYS || err == syscall.EOPNOTSUPP
+}
+
+// close releases the transit pipe; safe to call more than once.
+func (sp *splicer) close() {
+	if sp.pr >= 0 {
+		_ = syscall.Close(sp.pr) // transit pipe teardown is best-effort
+		_ = syscall.Close(sp.pw)
+		sp.pr, sp.pw = -1, -1
+	}
+}

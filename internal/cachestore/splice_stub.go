@@ -1,0 +1,16 @@
+//go:build !linux
+
+package cachestore
+
+import "os"
+
+// Non-Linux builds have no splice: CopyFrom always takes the userspace
+// (ReadFrom) loop.
+
+type splicer struct{}
+
+func newSplicer(src, dst *os.File) *splicer { return nil }
+
+func (sp *splicer) move(at, n int64) (int64, error) { return 0, errSpliceFallback }
+
+func (sp *splicer) close() {}

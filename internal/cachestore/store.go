@@ -172,24 +172,18 @@ func (s *Store) Open(key string) (f *os.File, release func(), err error) {
 // io.CopyBuffer onto its explicit-buffer path.
 type writerOnly struct{ io.Writer }
 
-// ReadAt reads from the cached file for key at offset off through the
-// shared handle pool: a warm segment read costs one pread instead of an
-// open/pread/close triple. A miss (not cached, or evicted since the
+// ReadAt reads from the cached file for key at offset off through a
+// short-lived fd lease: a warm segment read costs one pread instead of
+// an open/pread/close triple. A miss (not cached, or evicted since the
 // caller's Contains check) returns an error; callers read through from
 // the PFS instead.
 func (s *Store) ReadAt(key string, p []byte, off int64) (int, error) {
-	s.mu.Lock()
-	cached := s.ix.Contains(key)
-	s.mu.Unlock()
-	if !cached {
-		return 0, fmt.Errorf("cachestore: %s not cached", key)
-	}
-	pf, err := s.hp.acquire(key, func() (*os.File, error) { return os.Open(s.pathFor(key)) })
+	l, err := s.Lease(key)
 	if err != nil {
 		return 0, err
 	}
-	n, err := pf.f.ReadAt(p, off)
-	s.hp.release(pf)
+	n, err := l.ReadAt(p, off)
+	l.Release()
 	return n, err
 }
 

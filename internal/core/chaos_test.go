@@ -46,6 +46,7 @@ type chaosCase struct {
 	segSize  int64
 	capacity int64                    // cache capacity per server (0 = unconstrained)
 	policy   func() cachestore.Policy // per-server eviction policy (nil = default)
+	zeroCopy bool                     // arm the sendfile warm-serve plane (DESIGN.md §13)
 	sched    faultnet.Schedule
 }
 
@@ -191,6 +192,7 @@ func startChaosCluster(t *testing.T, pfsDir string, tc chaosCase, inj *faultnet.
 		func(c *ServerConfig) {
 			c.SegmentSize = tc.segSize
 			c.CacheCapacity = tc.capacity
+			c.ZeroCopy = tc.zeroCopy
 			if tc.policy != nil {
 				c.Policy = tc.policy() // fresh instance per server: policies are stateful
 			}
@@ -260,7 +262,9 @@ func maybeWriteCorpus(t *testing.T, cases []chaosCase) {
 // runChaosCase drives one matrix cell and asserts the resilience
 // invariants. preEpoch, when set, runs before each epoch's reads (the
 // planner variant installs the epoch plan there); it must not read data.
-func runChaosCase(t *testing.T, tc chaosCase, preEpoch func(e int, cli *Client, paths []string)) {
+// It returns the cell's summed ZeroCopyEligible so armed matrices can
+// assert the run actually exercised the sendfile plane.
+func runChaosCase(t *testing.T, tc chaosCase, preEpoch func(e int, cli *Client, paths []string)) int64 {
 	testutil.CheckLeaks(t)
 	pfsDir := filepath.Join(t.TempDir(), "dataset")
 	paths := writePFS(t, pfsDir, tc.files, tc.size)
@@ -349,7 +353,12 @@ func runChaosCase(t *testing.T, tc chaosCase, preEpoch func(e int, cli *Client, 
 
 	// Invariant 2, server side: everything served — opens, batch
 	// entries, and segment reads in segmented mode — is exactly one
-	// of Hit or ReadThrough.
+	// of Hit or ReadThrough; and every zero-copy-eligible serve (a
+	// response that left carrying an fd payload) resolved as exactly
+	// one of a sendfile send or a userspace fallback. The zero-copy
+	// identity is asserted unconditionally: with ZeroCopy off it holds
+	// trivially at 0 == 0.
+	var eligible int64
 	for i, s := range servers {
 		ss := s.Stats()
 		served := ss.Opens + ss.BatchEntries
@@ -360,7 +369,16 @@ func runChaosCase(t *testing.T, tc chaosCase, preEpoch func(e int, cli *Client, 
 			t.Fatalf("srv%d: hits(%d)+readthroughs(%d) != served(%d); stats %+v",
 				i, ss.Hits, ss.ReadThroughs, served, ss)
 		}
+		if ss.ZeroCopySends+ss.ZeroCopyFallbacks != ss.ZeroCopyEligible {
+			t.Fatalf("srv%d: zerocopy sends(%d)+fallbacks(%d) != eligible(%d); stats %+v",
+				i, ss.ZeroCopySends, ss.ZeroCopyFallbacks, ss.ZeroCopyEligible, ss)
+		}
+		if !tc.zeroCopy && ss.ZeroCopyEligible != 0 {
+			t.Fatalf("srv%d: %d zero-copy serves with ZeroCopy off", i, ss.ZeroCopyEligible)
+		}
+		eligible += ss.ZeroCopyEligible
 	}
+	return eligible
 }
 
 func TestChaosMatrix(t *testing.T) {
@@ -405,6 +423,27 @@ func TestChaosMatrixClairvoyantPlanner(t *testing.T) {
 			}
 			runChaosCase(t, tc, pre)
 		})
+	}
+}
+
+// The full fault matrix with the zero-copy plane armed on every server:
+// warm serves now travel cache-fd → socket through sendfile, and the
+// injected faults (disconnects, hangs, kills mid-payload) hit that path
+// directly. Every invariant of the base matrix must hold unchanged —
+// byte identity proves the kernel path and its mid-transfer fallbacks
+// frame exactly the bytes the pooled path would — plus the per-server
+// zero-copy identity, and the armed matrix must produce eligible serves
+// somewhere (epoch-2 warm reads), else the arming was vacuous.
+func TestChaosMatrixZeroCopy(t *testing.T) {
+	var eligible int64
+	for _, tc := range chaosMatrix() {
+		tc.zeroCopy = true
+		t.Run(tc.name, func(t *testing.T) {
+			eligible += runChaosCase(t, tc, nil)
+		})
+	}
+	if eligible == 0 {
+		t.Fatal("no zero-copy-eligible serves across the armed matrix; the arming is vacuous")
 	}
 }
 

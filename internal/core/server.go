@@ -97,6 +97,12 @@ type ServerConfig struct {
 	// a connection goroutine; 0 means transport.DefaultWriteTimeout,
 	// negative disables the deadline.
 	WriteTimeout time.Duration
+	// ZeroCopy serves warm whole-file and segment reads from an fd lease
+	// on the cached file, letting the transport push the payload with
+	// sendfile(2) so the bytes never cross userspace (Linux; every other
+	// writer or platform transparently falls back to the pooled
+	// pread+writev path). See DESIGN.md §13.
+	ZeroCopy bool
 	// DemandQueue and PrefetchQueue cap the two mover queues (0 means the
 	// package defaults). Demand overflows degrade the request to
 	// handler-side read-through; prefetch overflows drop the hint.
@@ -184,6 +190,20 @@ type ServerStats struct {
 	// the first).
 	PlanKeys     int64
 	PlanFrontier int64
+	// Zero-copy serve accounting (transport.ZeroCopyStats snapshots).
+	// Identity, asserted by the chaos tier with ZeroCopy armed and
+	// declared per CFG path on the live counters in the transport:
+	//
+	//	ZeroCopySends + ZeroCopyFallbacks == ZeroCopyEligible
+	//
+	// Every response that reached the wire with an fd-backed payload
+	// (eligible) either left entirely via sendfile (a send) or involved
+	// userspace bytes (a fallback). ZeroCopyBytes counts the bytes
+	// sendfile itself moved.
+	ZeroCopyEligible  int64
+	ZeroCopySends     int64
+	ZeroCopyBytes     int64
+	ZeroCopyFallbacks int64
 }
 
 // serverCounters is the live form of ServerStats: typed atomics, so the
@@ -287,6 +307,9 @@ type Server struct {
 	handles handleTable
 	nextFD  atomic.Int64
 	stats   serverCounters
+	// zc is the zero-copy serve accounting, bumped by the transport's
+	// write path for every fd-backed response this server emits.
+	zc transport.ZeroCopyStats
 
 	// Clairvoyant planning state (planner.go). planArmed short-circuits
 	// planObserve on the warm read path until a plan is installed;
@@ -454,6 +477,10 @@ func (s *Server) Stats() ServerStats {
 	keys, frontier := s.planSnapshot()
 	st.PlanKeys = int64(keys)
 	st.PlanFrontier = frontier
+	st.ZeroCopyEligible = s.zc.Eligible.Load()
+	st.ZeroCopySends = s.zc.Sends.Load()
+	st.ZeroCopyBytes = s.zc.Bytes.Load()
+	st.ZeroCopyFallbacks = s.zc.Fallbacks.Load()
 	return st
 }
 
@@ -841,6 +868,36 @@ func (s *Server) promote(h *openHandle) error {
 	return nil
 }
 
+// leaseResponse builds a zero-copy response serving up to maxLen bytes
+// of key's cached file starting at off: the payload is the fd lease
+// itself (released by the transport after the write), so warm bytes can
+// leave via sendfile without a userspace copy. Returns nil when the key
+// cannot be leased — the caller serves through its pooled path instead.
+// The byte count mirrors ReadAt-at-EOF semantics: reads past the end
+// serve the available prefix (possibly empty) as a short, OK response.
+func (s *Server) leaseResponse(key string, off, maxLen int64) (*transport.Response, int64) {
+	lz, err := s.store.Lease(key)
+	if err != nil {
+		return nil, 0
+	}
+	n := lz.Size() - off
+	if n < 0 {
+		n = 0
+	}
+	if n > maxLen {
+		n = maxLen
+	}
+	resp := transport.AcquireResponse()
+	resp.Status = transport.StatusOK
+	resp.Size = n
+	if n == 0 {
+		lz.Release()
+		return resp, 0
+	}
+	resp.SetPayloadFile(lz.File(), off, n, lz, &s.zc)
+	return resp, n
+}
+
 // readHandle serves a ranged read on an open handle: directly from the
 // handle's file when it has one, else from the in-flight fill it is
 // attached to, promoting to the committed cache entry (or the PFS) when
@@ -890,6 +947,17 @@ func (s *Server) handleRead(req *transport.Request) *transport.Response {
 	}
 	if err := checkReadLen(req.Len); err != nil {
 		return errResp(err)
+	}
+	// Zero-copy warm serve: a cache-backed handle (h.release pins the
+	// index entry, so the key cannot have been evicted) is served via a
+	// fresh fd lease and sendfile instead of a pooled pread. Cold
+	// (serve-from-fill) handles keep the watermark path below.
+	if s.cfg.ZeroCopy && h.fe == nil && h.release != nil {
+		if resp, n := s.leaseResponse(h.path, req.Off, req.Len); resp != nil {
+			s.stats.reads.Add(1)
+			s.stats.bytesServed.Add(n)
+			return resp
+		}
 	}
 	resp := transport.AcquireResponse()
 	buf := resp.Grab(int(req.Len))
@@ -980,6 +1048,18 @@ func (s *Server) handleReadAt(req *transport.Request) *transport.Response {
 	}
 	key := segKey(req.Path, segIdx)
 	s.planObserve(key)
+	// Zero-copy warm serve: lease the resident segment and let sendfile
+	// move it. A failed lease (not cached, or evicted) falls through to
+	// the pooled path, whose own Contains re-probe routes to the miss
+	// handling.
+	if s.cfg.ZeroCopy {
+		if resp, n := s.leaseResponse(key, req.Off-segIdx*segSize, req.Len); resp != nil {
+			s.stats.reads.Add(1)
+			s.stats.hits.Add(1)
+			s.stats.bytesServed.Add(n)
+			return resp
+		}
+	}
 	resp := transport.AcquireResponse()
 	buf := resp.Grab(int(req.Len))
 

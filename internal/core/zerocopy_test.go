@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"hvac/internal/testutil"
+	"hvac/internal/transport"
+)
+
+// The zero-copy serve plane (DESIGN.md §13) end to end: real TCP
+// clusters with ServerConfig.ZeroCopy toggled, proving the sendfile
+// path is invisible to clients (byte identity), survives connections
+// dying mid-payload, and keeps the Sends+Fallbacks == Eligible
+// accounting identity.
+
+// writeSizedPFS lays out one file per size so a single cluster run
+// covers empty, sub-segment, page-sized, and multi-chunk payloads.
+func writeSizedPFS(t *testing.T, dir string, sizes []int) []string {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(sizes))
+	for i, size := range sizes {
+		content := make([]byte, size)
+		for j := range content {
+			content[j] = byte(j*31 + size)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("s%08d.bin", size))
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+// TestZeroCopyByteIdentityOnOff reads the same dataset through two
+// clusters — zero-copy armed and disarmed — across two epochs (the
+// second is warm, so the armed cluster serves it through fd leases and
+// sendfile) and requires every read to match the PFS bytes. On Linux
+// the armed warm epoch must produce actual sendfile sends; disarmed, no
+// serve may even be eligible.
+func TestZeroCopyByteIdentityOnOff(t *testing.T) {
+	sizes := []int{1, 511, 4096, 64 << 10, (1 << 20) + 7}
+	for _, zc := range []bool{false, true} {
+		name := "off"
+		if zc {
+			name = "on"
+		}
+		t.Run(name, func(t *testing.T) {
+			pfsDir := filepath.Join(t.TempDir(), "dataset")
+			paths := writeSizedPFS(t, pfsDir, sizes)
+			want := make(map[string][]byte, len(paths))
+			for _, p := range paths {
+				content, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[p] = content
+			}
+			servers, cli := startCluster(t, pfsDir, 2, func(c *ServerConfig) { c.ZeroCopy = zc }, nil)
+
+			for epoch := 0; epoch < 2; epoch++ {
+				for _, p := range paths {
+					got, err := cli.ReadAll(p)
+					if err != nil {
+						t.Fatalf("epoch %d: read %s: %v", epoch, p, err)
+					}
+					if !bytes.Equal(got, want[p]) {
+						t.Fatalf("epoch %d: %s differs from the PFS copy (%d bytes, want %d)",
+							epoch, p, len(got), len(want[p]))
+					}
+				}
+				for _, s := range servers {
+					s.WaitIdle() // warm every cache before the second epoch
+				}
+			}
+
+			var eligible, sends int64
+			for i, s := range servers {
+				ss := s.Stats()
+				if ss.ZeroCopySends+ss.ZeroCopyFallbacks != ss.ZeroCopyEligible {
+					t.Fatalf("srv%d: sends(%d)+fallbacks(%d) != eligible(%d)",
+						i, ss.ZeroCopySends, ss.ZeroCopyFallbacks, ss.ZeroCopyEligible)
+				}
+				eligible += ss.ZeroCopyEligible
+				sends += ss.ZeroCopySends
+			}
+			if !zc && eligible != 0 {
+				t.Fatalf("%d zero-copy serves with the plane disarmed", eligible)
+			}
+			if zc && eligible == 0 {
+				t.Fatal("warm epoch produced no zero-copy-eligible serves")
+			}
+			if zc && runtime.GOOS == "linux" && sends == 0 {
+				t.Fatal("warm epoch on linux produced no sendfile sends")
+			}
+		})
+	}
+}
+
+// TestZeroCopyMidSendConnectionDeath kills a client connection while
+// the server is mid-sendfile on a 1 MiB warm payload: the serve fails
+// on that connection only, the stats identity still resolves, and the
+// server keeps serving byte-identical reads to healthy clients.
+func TestZeroCopyMidSendConnectionDeath(t *testing.T) {
+	testutil.CheckLeaks(t)
+	pfsDir := filepath.Join(t.TempDir(), "dataset")
+	paths := writeSizedPFS(t, pfsDir, []int{1 << 20})
+	want, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, cli := startCluster(t, pfsDir, 1, func(c *ServerConfig) { c.ZeroCopy = true }, nil)
+	srv := servers[0]
+
+	// Warm the cache so the raw-connection read below is an fd-lease serve.
+	if _, err := cli.ReadAll(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	srv.WaitIdle()
+
+	// A raw protocol speaker: open the warm file, request the whole
+	// payload, swallow a token amount, and slam the connection shut while
+	// the server's sendfile loop still owes ~1 MiB.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteRequest(conn, &transport.Request{Op: transport.OpOpen, Path: paths[0]}); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := transport.ReadResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle := opened.Handle
+	opened.Release()
+	if err := transport.WriteRequest(conn, &transport.Request{Op: transport.OpRead, Handle: handle, Off: 0, Len: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, 512)
+	if _, err := conn.Read(head); err != nil {
+		t.Fatalf("reading the response head: %v", err)
+	}
+	_ = conn.Close() // mid-payload: the kernel still owes the socket ~1 MiB
+
+	// The server must shrug: a healthy client still gets identical bytes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, rerr := cli.ReadAll(paths[0])
+		if rerr != nil {
+			t.Fatalf("read after mid-send death: %v", rerr)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("bytes corrupted after a connection died mid-sendfile")
+		}
+		ss := srv.Stats()
+		if ss.ZeroCopySends+ss.ZeroCopyFallbacks == ss.ZeroCopyEligible {
+			if ss.ZeroCopyEligible < 2 {
+				t.Fatalf("expected the dead and the healthy serve to be eligible, got %d", ss.ZeroCopyEligible)
+			}
+			break
+		}
+		// The dying serve may still be resolving its counters in the
+		// server's connection goroutine; give it a moment.
+		if time.Now().After(deadline) {
+			t.Fatalf("stats identity never resolved: sends(%d)+fallbacks(%d) != eligible(%d)",
+				ss.ZeroCopySends, ss.ZeroCopyFallbacks, ss.ZeroCopyEligible)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -3,6 +3,9 @@ package transport
 import (
 	"bytes"
 	"io"
+	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -123,6 +126,77 @@ func TestReadRequestIntoAllocsOnlyPath(t *testing.T) {
 		}
 	}); n > 1 {
 		t.Errorf("ReadRequestInto allocates %.1f/op, want <= 1 (the path string)", n)
+	}
+}
+
+// TestZeroCopySendAllocFree pins the zero-copy serve budget: once the
+// per-connection step closure and the pools are warm, pushing an
+// fd-backed 1 MiB payload through sendfile allocates nothing — the
+// payload never exists in userspace, so there is no buffer to allocate.
+// The draining peer runs the warm pooled decode path (also 0 allocs), so
+// the process-wide counter AllocsPerRun reads stays flat.
+func TestZeroCopySendAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	const size = 1 << 20
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- c
+		}
+	}()
+	cconn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cconn.Close()
+	sconn := <-accepted
+	defer sconn.Close()
+
+	path := filepath.Join(t.TempDir(), "payload")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0x5A}, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Drain on the warm pooled decode path so the peer goroutine does not
+	// add allocations of its own to the process-wide counter.
+	go func() {
+		for {
+			resp, rerr := ReadResponse(cconn)
+			if rerr != nil {
+				return
+			}
+			resp.Release()
+		}
+	}()
+
+	var st ZeroCopyStats
+	zw := newZCWriter(sconn)
+	resp := &Response{Status: StatusOK, Size: size}
+	send := func() {
+		resp.SetPayloadFile(f, 0, size, nil, &st)
+		if err := WriteResponse(zw, resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		send() // warm: step closure, frame pools, peer decode pools
+	}
+	if n := testing.AllocsPerRun(100, send); n > 0 {
+		t.Errorf("zero-copy send allocates %.1f/op on the warm path, want 0", n)
+	}
+	if zw.canSendfile() && st.Fallbacks.Load() != 0 {
+		t.Errorf("sendfile-capable conn took %d fallbacks", st.Fallbacks.Load())
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 )
 
 // Op identifies an RPC operation.
@@ -113,6 +114,15 @@ type Response struct {
 
 	pooled   *[]byte // backing frame/payload buffer owned by this response
 	fromPool bool    // struct came from respPool (AcquireResponse/ReadResponse)
+
+	// fd-backed payload (zerocopy.go): when srcFile is set the payload is
+	// srcLen bytes of srcFile at srcOff, Data stays nil, and srcRel is
+	// released with the response. srcStats receives the serve accounting.
+	srcFile  *os.File
+	srcOff   int64
+	srcLen   int64
+	srcRel   PayloadReleaser
+	srcStats *ZeroCopyStats
 }
 
 // OK reports whether the response carries no error.
@@ -145,6 +155,9 @@ func (r *Response) Release() {
 	if r.pooled != nil {
 		putFrameBuf(r.pooled)
 		r.pooled = nil
+	}
+	if r.srcRel != nil || r.srcFile != nil {
+		r.releaseSrc()
 	}
 	if r.fromPool {
 		*r = Response{}
@@ -225,6 +238,11 @@ func ReadRequest(r io.Reader) (*Request, error) {
 // out as a vectored write (net.Buffers), which a TCP connection turns
 // into a single writev with no payload copy.
 func WriteResponse(w io.Writer, resp *Response) error {
+	if resp.srcFile != nil {
+		// fd-backed payload: same frame on the wire, but the payload can
+		// leave via sendfile when w supports it (zerocopy.go).
+		return writeFileResponse(w, resp)
+	}
 	if len(resp.Err) > 1<<16-1 {
 		return fmt.Errorf("transport: error string too long")
 	}

@@ -1,0 +1,74 @@
+//go:build linux
+
+package transport
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// sendfileChunk caps one sendfile(2) count argument. The kernel caps a
+// single transfer at ~2 GiB anyway; 1 GiB keeps the int math safely
+// inside 32 bits everywhere.
+const sendfileChunk = 1 << 30
+
+// canSendfile reports whether this connection exposes a raw descriptor
+// sendfile can target (plain TCP does; a future TLS wrapper would not).
+func (w *zcWriter) canSendfile() bool { return w.rc != nil }
+
+// sendPayload moves n bytes of f starting at off into the connection via
+// sendfile(2), driven through the runtime netpoller: the step callback
+// returns false on EAGAIN so RawConn.Write parks the goroutine until the
+// socket is writable again, which also keeps the server's write deadline
+// in force. Returns how many bytes the kernel moved, even on error, so
+// the caller can resume the remainder in userspace.
+func (w *zcWriter) sendPayload(f *os.File, off, n int64) (int64, error) {
+	if w.step == nil {
+		// Bound once per connection; the loop state lives on the struct
+		// so warm serves allocate nothing.
+		w.step = w.sendfileStep
+	}
+	w.srcFD = int(f.Fd())
+	w.off = off
+	w.remain = n
+	w.serr = nil
+	err := w.rc.Write(w.step)
+	sent := n - w.remain
+	if err == nil {
+		err = w.serr
+	}
+	return sent, err
+}
+
+// sendfileStep is the RawConn.Write callback: push bytes until the
+// socket would block (false → wait for writability), the transfer
+// completes, or a real error lands in w.serr (true → stop waiting).
+func (w *zcWriter) sendfileStep(fd uintptr) bool {
+	for w.remain > 0 {
+		chunk := w.remain
+		if chunk > sendfileChunk {
+			chunk = sendfileChunk
+		}
+		n, err := syscall.Sendfile(int(fd), w.srcFD, &w.off, int(chunk))
+		if n > 0 {
+			w.remain -= int64(n)
+			continue
+		}
+		switch err {
+		case nil:
+			// Zero bytes with no error: the source is shorter than
+			// promised (truncated under us).
+			w.serr = io.ErrUnexpectedEOF
+			return true
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			w.serr = err
+			return true
+		}
+	}
+	return true
+}

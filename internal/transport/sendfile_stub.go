@@ -1,0 +1,17 @@
+//go:build !linux
+
+package transport
+
+import (
+	"errors"
+	"os"
+)
+
+// Non-Linux builds have no sendfile path: every file-payload response
+// takes writeFileResponse's pooled pread+writev fallback.
+
+func (w *zcWriter) canSendfile() bool { return false }
+
+func (w *zcWriter) sendPayload(f *os.File, off, n int64) (int64, error) {
+	return 0, errors.New("transport: sendfile unavailable on this platform")
+}

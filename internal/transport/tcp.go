@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	// One Request per connection: ReadRequestInto overwrites every field,
 	// so the loop allocates only the decoded path string per call.
 	var req Request
+	// File-payload responses go through a lazily built per-conn zcWriter
+	// (sendfile on Linux). Slice-payload responses must keep writing to
+	// the raw conn: net.Buffers' writev fast path type-asserts the conn
+	// itself, and any wrapper would demote it to three separate writes.
+	var zw *zcWriter
 	for {
 		if err := ReadRequestInto(conn, &req); err != nil {
 			return // EOF or broken peer
@@ -103,7 +109,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		}
-		err := WriteResponse(conn, resp)
+		dst := io.Writer(conn)
+		if resp.FilePayload() {
+			if zw == nil {
+				zw = newZCWriter(conn)
+			}
+			dst = zw
+		}
+		err := WriteResponse(dst, resp)
 		// The response is on the wire (or the link is dead): recycle its
 		// pooled payload either way. Handlers hand ownership to the server
 		// with their return.

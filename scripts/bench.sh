@@ -21,6 +21,15 @@
 #   prefetched_frac and hitrate; wall-clock cold/warm ratios are
 #   machine-bound (see EXPERIMENTS.md on single-core overlap).
 #
+#   BENCH_PR10.json (ISSUE 10): warm whole-file reads over real TCP at
+#   64 KiB and 1 MiB with the zero-copy serve plane armed and disarmed.
+#   The stable cross-machine signals are zcsends/op (~1 armed on Linux,
+#   0 disarmed — every warm serve left through sendfile) and the pinned
+#   0 payload allocs/op (alloc_test.go); MB/s over loopback is
+#   machine-bound and can favor either path (lo has no NIC DMA, so
+#   sendfile's skipped user-space copy buys CPU, not loopback
+#   wall-clock — see EXPERIMENTS.md).
+#
 # CI runs this as a non-gating step; wall-clock numbers from shared
 # runners are indicative only.
 set -eu
@@ -31,6 +40,7 @@ OUT=${1:-BENCH_PR4.json}
 OUT5=${2:-BENCH_PR5.json}
 OUT7=${3:-BENCH_PR7.json}
 OUT9=${4:-BENCH_PR9.json}
+OUT10=${5:-BENCH_PR10.json}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -227,3 +237,50 @@ EOF
 rm -f "$TMP.json"
 
 echo "bench: wrote $OUT9" >&2
+
+# --- ISSUE 10: zero-copy warm serves ----------------------------------
+
+: > "$TMP"
+echo '--- zero-copy benchmarks' >&2
+go test -run '^$' -bench 'WarmRead64K|WarmRead1M' \
+	-benchtime 2000x ./internal/core | tee -a "$TMP" >&2
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; mbs = ""; sends = ""; falls = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "MB/s") mbs = $(i - 1)
+		if ($i == "zcsends/op") sends = $(i - 1)
+		if ($i == "zcfallbacks/op") falls = $(i - 1)
+	}
+	if (ns == "") next
+	if (out != "") out = out ",\n"
+	entry = sprintf("    \"%s\": {\"ns_op\": %s", name, ns)
+	if (mbs != "") entry = entry sprintf(", \"mb_s\": %s", mbs)
+	if (sends != "") entry = entry sprintf(", \"zcsends_op\": %s", sends)
+	if (falls != "") entry = entry sprintf(", \"zcfallbacks_op\": %s", falls)
+	out = out entry "}"
+}
+END { print out }
+' "$TMP" > "$TMP.json"
+
+cat > "$OUT10" <<EOF
+{
+  "issue": 10,
+  "description": "Zero-copy kernel data plane: warm whole-file reads over real TCP (open + one full-payload ranged read + close per op) with ServerConfig.ZeroCopy armed and disarmed. The zerocopy_true rows serve cache-fd -> socket through sendfile(2) behind an fd lease; zerocopy_false is the pooled pread+writev control and doubles as the pre-PR baseline (the path is unchanged from before the PR). Stable cross-machine signals: zcsends_op ~1 armed on Linux with zcfallbacks_op 0 (every warm serve left the kernel without a userspace payload copy; alloc_test.go separately pins 0 payload allocs/op), both 0 disarmed. mb_s is machine-bound: loopback has no NIC DMA, so sendfile saves CPU (the skipped user-space copy), not loopback wall-clock — on this runner armed and disarmed land within run-to-run variance of each other.",
+  "benchtime": "2000x",
+  "baseline": {
+    "BenchmarkWarmRead64K/zerocopy_false": {"ns_op": 55743, "mb_s": 1175.68, "zcsends_op": 0, "zcfallbacks_op": 0},
+    "BenchmarkWarmRead1M/zerocopy_false": {"ns_op": 623008, "mb_s": 1683.09, "zcsends_op": 0, "zcfallbacks_op": 0}
+  },
+  "after": {
+$(cat "$TMP.json")
+  }
+}
+EOF
+rm -f "$TMP.json"
+
+echo "bench: wrote $OUT10" >&2
